@@ -1,0 +1,378 @@
+package smartpgsim_test
+
+// The benchmark harness regenerates every table and figure of the paper
+// (see DESIGN.md §4 for the experiment index). Each benchmark times the
+// experiment's core operation with testing.B and prints the paper-style
+// table once per `go test -bench` run, so the tee'd bench output doubles
+// as the reproduction report. Paper-scale sample counts (10,000 problems,
+// 8,000-sample training) are scaled down for CPU budgets; the cmd/ tools
+// accept flags to run any size.
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/la"
+	"repro/internal/mtl"
+	"repro/internal/opf"
+	"repro/internal/scale"
+	"repro/internal/sparse"
+)
+
+// fixture holds the shared trained state: built once, reused by every
+// benchmark so `go test -bench=.` stays tractable.
+type fixture struct {
+	sys9    *core.System
+	sys14   *core.System
+	set9    *dataset.Set
+	train9  *dataset.Set
+	val9    *dataset.Set
+	set14   *dataset.Set
+	model9  *mtl.Model // Smart-PGSim variant, trained on case9
+	model14 *mtl.Model
+	eval9   core.EvalResult
+	eval14  core.EvalResult
+}
+
+var (
+	fixOnce sync.Once
+	fix     *fixture
+	fixErr  error
+)
+
+func getFixture(b *testing.B) *fixture {
+	b.Helper()
+	fixOnce.Do(func() {
+		f := &fixture{}
+		f.sys9 = core.MustLoadSystem("case9")
+		f.sys14 = core.MustLoadSystem("case14")
+		f.set9, fixErr = f.sys9.GenerateData(150, 101)
+		if fixErr != nil {
+			return
+		}
+		f.train9, f.val9 = f.set9.Split(0.8)
+		f.model9, fixErr = f.sys9.TrainModel(mtl.VariantSmartPGSim, f.train9, 300, 11, nil)
+		if fixErr != nil {
+			return
+		}
+		f.set14, fixErr = f.sys14.GenerateData(120, 102)
+		if fixErr != nil {
+			return
+		}
+		train14, _ := f.set14.Split(0.8)
+		f.model14, fixErr = f.sys14.TrainModel(mtl.VariantSmartPGSim, train14, 300, 12, nil)
+		if fixErr != nil {
+			return
+		}
+		_, val14 := f.set14.Split(0.8)
+		f.eval9 = core.Evaluate(f.sys9, f.model9, f.val9, 0)
+		f.eval14 = core.Evaluate(f.sys14, f.model14, val14, 0)
+		fix = f
+	})
+	if fixErr != nil {
+		b.Fatal(fixErr)
+	}
+	return fix
+}
+
+var printOnce sync.Map
+
+// printReport emits a table once per process.
+func printReport(key string, emit func()) {
+	if _, loaded := printOnce.LoadOrStore(key, true); !loaded {
+		emit()
+	}
+}
+
+// BenchmarkTableI regenerates the warm-start component ablation; the
+// timed operation is one all-precise warm-started OPF solve.
+func BenchmarkTableI(b *testing.B) {
+	f := getFixture(b)
+	printReport("tableI", func() {
+		rows := core.SensitivityStudy(f.sys9, f.set9, 12)
+		core.PrintTableI(os.Stdout, []string{"case9"}, map[string][]core.SensRow{"case9": rows})
+	})
+	s := &f.set9.Samples[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cc := f.sys9.Case.Clone()
+		cc.ScaleLoads(s.Factors)
+		o := opf.Prepare(cc)
+		if _, err := o.Solve(&opf.Start{X: s.X, Lam: s.Lam, Mu: s.Mu, Z: s.Z}, opf.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTableII prints the system configuration counts; the timed
+// operation is OPF problem preparation.
+func BenchmarkTableII(b *testing.B) {
+	f := getFixture(b)
+	printReport("tableII", func() {
+		sys30 := core.MustLoadSystem("case30")
+		sys57 := core.MustLoadSystem("case57")
+		core.PrintTableII(os.Stdout, core.TableII([]*core.System{f.sys14, sys30, sys57}))
+		fmt.Println("(case118/case300 rows: go run ./cmd/pgsim -case case118 / case300)")
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		opf.Prepare(f.sys14.Case)
+	}
+}
+
+// BenchmarkTableIII regenerates the NN-as-final-solution comparison; the
+// timed operation is one model inference.
+func BenchmarkTableIII(b *testing.B) {
+	f := getFixture(b)
+	printReport("tableIII", func() {
+		rows := []core.ReplacementResult{
+			core.ReplacementStudy(f.sys9, f.model9, f.val9, 0),
+		}
+		core.PrintTableIII(os.Stdout, rows)
+	})
+	in := f.val9.Samples[0].Input
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.model9.Predict(in)
+	}
+}
+
+// BenchmarkFig4 regenerates the end-to-end MIPS vs Smart-PGSim rows; the
+// timed operation is one full online-pipeline solve (predict + warm
+// solve + fallback).
+func BenchmarkFig4(b *testing.B) {
+	f := getFixture(b)
+	printReport("fig4", func() {
+		core.PrintFig4(os.Stdout, []core.EvalResult{f.eval9, f.eval14})
+	})
+	s := &f.val9.Samples[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.sys9.SolveWarm(f.model9, s.Factors, s.Input)
+	}
+}
+
+// BenchmarkFig5 regenerates the runtime breakdown; the timed operation is
+// one cold MIPS solve (the baseline whose Newton share dominates).
+func BenchmarkFig5(b *testing.B) {
+	f := getFixture(b)
+	printReport("fig5", func() {
+		core.PrintFig5(os.Stdout, []core.EvalResult{f.eval9, f.eval14})
+	})
+	s := &f.val9.Samples[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cc := f.sys9.Case.Clone()
+		cc.ScaleLoads(s.Factors)
+		if _, err := opf.Prepare(cc).Solve(nil, opf.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig6 regenerates the prediction-accuracy panels; the timed
+// operation is predict + renormalize for one sample.
+func BenchmarkFig6(b *testing.B) {
+	f := getFixture(b)
+	printReport("fig6", func() {
+		core.PrintFig6(os.Stdout, core.PredictionAccuracy(f.sys9, f.model9, f.val9))
+	})
+	s := &f.val9.Samples[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st := f.model9.Predict(s.Input)
+		f.model9.Norm.X.NormalizeVec(st.X)
+	}
+}
+
+// fig78 caches the expensive three-variant comparison shared by the
+// Figure 7 and Figure 8 benchmarks.
+var (
+	fig78Once sync.Once
+	fig78Rows []core.VariantResult
+	fig78Err  error
+)
+
+func getFig78(b *testing.B) []core.VariantResult {
+	f := getFixture(b)
+	fig78Once.Do(func() {
+		fig78Rows, fig78Err = core.CompareModels(f.sys9, f.train9, f.val9, 200, 21, 12, nil)
+	})
+	if fig78Err != nil {
+		b.Fatal(fig78Err)
+	}
+	return fig78Rows
+}
+
+// BenchmarkFig7 regenerates the Sep-models / MTL / Smart-PGSim speedup
+// and success-rate comparison; the timed operation is one warm solve.
+func BenchmarkFig7(b *testing.B) {
+	f := getFixture(b)
+	rows := getFig78(b)
+	printReport("fig7", func() { core.PrintFig7(os.Stdout, "case9", rows) })
+	s := &f.val9.Samples[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.sys9.SolveWarm(f.model9, s.Factors, s.Input)
+	}
+}
+
+// BenchmarkFig8 regenerates the relative-error box plots; the timed
+// operation is one prediction error evaluation.
+func BenchmarkFig8(b *testing.B) {
+	f := getFixture(b)
+	rows := getFig78(b)
+	printReport("fig8", func() { core.PrintFig8(os.Stdout, "case9", rows) })
+	s := &f.val9.Samples[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st := f.model9.Predict(s.Input)
+		_ = st.X.Clone().Sub(s.X).NormInf()
+	}
+}
+
+// BenchmarkFig9 regenerates the strong/weak scaling curves; the timed
+// operation is a real 4-worker parallel inference batch.
+func BenchmarkFig9(b *testing.B) {
+	f := getFixture(b)
+	tInf := scale.MeasureInference(f.model9, f.val9.Inputs())
+	printReport("fig9", func() {
+		cl := scale.DefaultCluster()
+		workers := []int{1, 16, 32, 64, 128}
+		fmt.Println("Figure 9a — strong scaling (10k scenarios)")
+		fmt.Printf("%8s %10s %8s %8s\n", "workers", "speedup", "ideal", "eff")
+		for _, p := range scale.StrongScaling(tInf, 10000, workers, cl) {
+			fmt.Printf("%8d %9.1fx %7.0fx %7.1f%%\n", p.Workers, p.Speedup, p.Ideal, p.Eff*100)
+		}
+		fmt.Println("Figure 9b — weak scaling (10k scenarios/worker)")
+		fmt.Printf("%8s %12s %8s\n", "workers", "TFLOP/s", "eff")
+		for _, p := range scale.WeakScaling(tInf, 10000, scale.FlopsPerScenario(f.model9), workers, cl) {
+			fmt.Printf("%8d %12.4f %7.1f%%\n", p.Workers, p.TFlops, p.Eff*100)
+		}
+	})
+	inputs := f.val9.Inputs()
+	big := la.NewMatrix(128, inputs.Cols)
+	for r := 0; r < big.Rows; r++ {
+		copy(big.Row(r), inputs.Row(r%inputs.Rows))
+	}
+	replicas := make([]*mtl.Model, 4)
+	for i := range replicas {
+		replicas[i] = mtl.New(f.model9.Lay, f.model9.Cfg)
+		replicas[i].Norm = f.model9.Norm
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		scale.RunParallel(replicas, big, 4)
+	}
+}
+
+// BenchmarkFig10 regenerates the convergence traces; the timed operation
+// is one traced cold solve.
+func BenchmarkFig10(b *testing.B) {
+	f := getFixture(b)
+	printReport("fig10", func() {
+		core.PrintFig10(os.Stdout, core.ConvergenceStudy(f.sys9, &f.val9.Samples[0]))
+	})
+	s := &f.val9.Samples[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cc := f.sys9.Case.Clone()
+		cc.ScaleLoads(s.Factors)
+		if _, err := opf.Prepare(cc).Solve(nil, opf.Options{RecordTrace: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationHierarchy compares MTL training with and without the
+// physics-dependent head hierarchy (design-choice ablation, DESIGN.md §5).
+func BenchmarkAblationHierarchy(b *testing.B) {
+	f := getFixture(b)
+	printReport("ablHier", func() {
+		for _, hier := range []bool{true, false} {
+			cfg := mtl.Config{Variant: mtl.VariantMTL, Hierarchy: hier, DetachPeriod: 4, Seed: 31}
+			m := mtl.New(f.sys9.OPF.Lay, cfg)
+			hist, err := mtl.Train(m, nil, f.train9, mtl.TrainConfig{Epochs: 120, BatchSize: 16, Seed: 3})
+			if err != nil {
+				fmt.Println("ablation error:", err)
+				return
+			}
+			ev := core.Evaluate(f.sys9, m, f.val9, 12)
+			fmt.Printf("Ablation hierarchy=%-5v finalLoss=%.4f SU=%.2fx SR=%.0f%%\n",
+				hier, hist.Supervised[len(hist.Supervised)-1], ev.SU, ev.SR*100)
+		}
+	})
+	cfg := mtl.Config{Variant: mtl.VariantMTL, Hierarchy: true, Seed: 31}
+	m := mtl.New(f.sys9.OPF.Lay, cfg)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mtl.Train(m, nil, f.train9, mtl.TrainConfig{Epochs: 1, BatchSize: 16}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationDetach compares training with and without the detach
+// (feature prioritization) knob.
+func BenchmarkAblationDetach(b *testing.B) {
+	f := getFixture(b)
+	printReport("ablDetach", func() {
+		for _, period := range []int{0, 4} {
+			cfg := mtl.Config{Variant: mtl.VariantMTL, Hierarchy: true, DetachPeriod: period, Seed: 33}
+			m := mtl.New(f.sys9.OPF.Lay, cfg)
+			hist, err := mtl.Train(m, nil, f.train9, mtl.TrainConfig{Epochs: 120, BatchSize: 16, Seed: 5})
+			if err != nil {
+				fmt.Println("ablation error:", err)
+				return
+			}
+			ev := core.Evaluate(f.sys9, m, f.val9, 12)
+			fmt.Printf("Ablation detachPeriod=%d finalLoss=%.4f SU=%.2fx SR=%.0f%%\n",
+				period, hist.Supervised[len(hist.Supervised)-1], ev.SU, ev.SR*100)
+		}
+	})
+	s := &f.val9.Samples[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.model9.Predict(s.Input)
+	}
+}
+
+// BenchmarkAblationKKTOrdering compares the sparse LU fill-reducing
+// ordering on an OPF-sized KKT matrix (the solver kernel choice).
+func BenchmarkAblationKKTOrdering(b *testing.B) {
+	f := getFixture(b)
+	// Assemble a representative KKT-like matrix: the equality Jacobian
+	// bordered system of case14.
+	o := f.sys14.OPF
+	x := o.DefaultStart()
+	_, jg := o.Equality(x)
+	nx := o.Lay.NX
+	neq := o.Lay.NEq
+	kb := sparse.NewBuilder(nx+neq, nx+neq)
+	for i := 0; i < nx; i++ {
+		kb.Append(i, i, 4)
+	}
+	kb.AppendCSC(nx, 0, 1, jg)
+	kb.AppendCSC(0, nx, 1, jg.T())
+	kkt := kb.ToCSC()
+	printReport("ablKKT", func() {
+		fn, err1 := sparse.FactorizeOpts(kkt, sparse.OrderNatural, 1)
+		fr, err2 := sparse.FactorizeOpts(kkt, sparse.OrderRCM, 1)
+		if err1 != nil || err2 != nil {
+			fmt.Println("ablation error:", err1, err2)
+			return
+		}
+		fmt.Printf("Ablation KKT ordering (case14, %dx%d): natural fill=%d RCM fill=%d\n",
+			nx+neq, nx+neq, fn.NNZ(), fr.NNZ())
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sparse.FactorizeOpts(kkt, sparse.OrderRCM, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,64 @@
+// Command scaling regenerates Figure 9: strong and weak scaling of
+// data-parallel MTL inference for SC-ACOPF scenario fan-out, using real
+// goroutine parallelism for calibration and the cluster model of
+// internal/scale for worker counts beyond the host's cores (see
+// DESIGN.md "Substitutions").
+//
+// Usage:
+//
+//	scaling -case case14 -scenarios 10000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/mtl"
+	"repro/internal/scale"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("scaling: ")
+	caseName := flag.String("case", "case9", "test system")
+	scenarios := flag.Int("scenarios", 10000, "total scenarios for strong scaling (and per-worker for weak)")
+	n := flag.Int("n", 40, "training samples for the calibration model")
+	flag.Parse()
+
+	sys, err := core.LoadSystem(*caseName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	set, err := sys.GenerateData(*n, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	train, val := set.Split(0.8)
+	m, err := sys.TrainModel(mtl.VariantSmartPGSim, train, 60, 5, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tInf := scale.MeasureInference(m, val.Inputs())
+	flops := scale.FlopsPerScenario(m)
+	log.Printf("calibrated: %v per inference, %.0f flops per scenario", tInf, flops)
+
+	workers := []int{1, 16, 32, 64, 128}
+	cl := scale.DefaultCluster()
+
+	fmt.Printf("\nFigure 9a — strong scaling (%d scenarios total)\n", *scenarios)
+	fmt.Printf("%8s %14s %10s %10s %8s\n", "workers", "time", "speedup", "ideal", "eff")
+	for _, p := range scale.StrongScaling(tInf, *scenarios, workers, cl) {
+		fmt.Printf("%8d %14s %9.1fx %9.0fx %7.1f%%\n",
+			p.Workers, p.Time.Round(time.Microsecond), p.Speedup, p.Ideal, p.Eff*100)
+	}
+
+	fmt.Printf("\nFigure 9b — weak scaling (%d scenarios per worker)\n", *scenarios)
+	fmt.Printf("%8s %12s %14s %12s %8s\n", "workers", "scenarios", "time", "TFLOP/s", "eff")
+	for _, p := range scale.WeakScaling(tInf, *scenarios, flops, workers, cl) {
+		fmt.Printf("%8d %12d %14s %12.4f %7.1f%%\n",
+			p.Workers, p.Scenarios, p.Time.Round(time.Microsecond), p.TFlops, p.Eff*100)
+	}
+}

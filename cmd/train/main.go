@@ -1,0 +1,83 @@
+// Command train fits a Smart-PGSim model variant on a dataset produced by
+// cmd/traingen and writes the trained weights (with normalization state).
+//
+// Usage:
+//
+//	train -case case9 -data case9.ds -epochs 400 -out case9.model
+//	train -case case9 -data case9.ds -variant mtl
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/mtl"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("train: ")
+	caseName := flag.String("case", "case9", "test system the dataset was generated on")
+	data := flag.String("data", "", "dataset file from cmd/traingen (required)")
+	variantName := flag.String("variant", "smartpgsim", "model variant: sep, mtl or smartpgsim")
+	epochs := flag.Int("epochs", 300, "training epochs")
+	seed := flag.Int64("seed", 1, "initialization seed")
+	out := flag.String("out", "", "output model file (default <case>.model)")
+	flag.Parse()
+	if *data == "" {
+		log.Fatal("-data is required (generate one with cmd/traingen)")
+	}
+	if *out == "" {
+		*out = *caseName + ".model"
+	}
+	var variant mtl.Variant
+	switch *variantName {
+	case "sep":
+		variant = mtl.VariantSeparate
+	case "mtl":
+		variant = mtl.VariantMTL
+	case "smartpgsim":
+		variant = mtl.VariantSmartPGSim
+	default:
+		log.Fatalf("unknown variant %q", *variantName)
+	}
+
+	sys, err := core.LoadSystem(*caseName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	f, err := os.Open(*data)
+	if err != nil {
+		log.Fatal(err)
+	}
+	set, err := dataset.Load(f)
+	f.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if set.CaseName != sys.Name {
+		log.Fatalf("dataset was generated on %q, not %q", set.CaseName, sys.Name)
+	}
+	train, val := set.Split(0.8)
+	log.Printf("training %s on %d samples (%d held out)", variant, len(train.Samples), len(val.Samples))
+	m, err := sys.TrainModel(variant, train, *epochs, *seed, log.Printf)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	of, err := os.Create(*out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer of.Close()
+	if err := m.Save(of); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote model to %s", *out)
+
+	ev := core.Evaluate(sys, m, val, 0)
+	core.PrintFig4(os.Stderr, []core.EvalResult{ev})
+}

@@ -1,0 +1,20 @@
+// Package smartpgsim is a from-scratch Go reproduction of
+// "Smart-PGSim: Using Neural Network to Accelerate AC-OPF Power Grid
+// Simulation" (Dong, Xie, Kestor, Li — SC20).
+//
+// The implementation lives under internal/: the power-grid model and AC
+// power-flow algebra (internal/grid), dense and sparse linear algebra
+// (internal/la, internal/sparse), the Newton power flow (internal/pf),
+// the MIPS primal–dual interior-point solver (internal/mips), the AC-OPF
+// assembly (internal/opf), the neural-network framework and multitask
+// model (internal/nn, internal/mtl), dataset generation
+// (internal/dataset), the Smart-PGSim pipeline and experiment drivers
+// (internal/core), and the scaling study (internal/scale).
+//
+// Executables are under cmd/, runnable examples under examples/, and
+// bench_test.go in this directory regenerates every table and figure of
+// the paper — see DESIGN.md and EXPERIMENTS.md.
+package smartpgsim
+
+// Version identifies the reproduction release.
+const Version = "1.0.0"

@@ -1,0 +1,40 @@
+// Quickstart: solve the AC optimal power flow of the WSCC 9-bus system
+// and print the optimal dispatch.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/grid"
+	"repro/internal/opf"
+)
+
+func main() {
+	// 1. Load a built-in case (or grid.ParseMatpower for your own file).
+	c := grid.Case9()
+
+	// 2. Prepare the OPF problem (admittance matrices, bounds, layout).
+	problem := opf.Prepare(c)
+
+	// 3. Solve from the default interior starting point.
+	result, err := problem.Solve(nil, opf.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("solved %s in %d interior-point iterations (%v)\n",
+		c.Name, result.Iterations, result.SolveTime)
+	fmt.Printf("minimum generation cost: %.2f $/hr\n\n", result.Cost)
+	for gi, g := range c.ActiveGens() {
+		fmt.Printf("generator at bus %d: Pg = %7.2f MW, Qg = %7.2f MVAr\n",
+			g.Bus, result.Pg[gi], result.Qg[gi])
+	}
+	fmt.Printf("\nbus voltages (pu): ")
+	for _, vm := range result.Vm {
+		fmt.Printf("%.4f ", vm)
+	}
+	fmt.Println()
+}

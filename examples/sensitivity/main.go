@@ -1,0 +1,30 @@
+// Sensitivity: reproduce one column of the paper's Table I — which
+// warm-start components (X, λ, µ, Z) matter for convergence and speed.
+//
+//	go run ./examples/sensitivity
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/core"
+)
+
+func main() {
+	sys := core.MustLoadSystem("case9")
+	fmt.Println("generating 20 problems and their exact solver states...")
+	set, err := sys.GenerateData(20, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rows := core.SensitivityStudy(sys, set, 0)
+	core.PrintTableI(os.Stdout, []string{"case9"}, map[string][]core.SensRow{"case9": rows})
+
+	fmt.Println("\nreading the table:")
+	fmt.Println("  '1 1 1 1' — all components precise: fastest convergence;")
+	fmt.Println("  '0 0 0 1' — precise slacks Z with default multipliers µ is an")
+	fmt.Println("              inconsistent interior point and hurts success rate;")
+	fmt.Println("  '1 0 0 0' — a precise solution X alone is safe but barely faster.")
+}

@@ -1,0 +1,132 @@
+// Package core is the Smart-PGSim framework: the offline phase (dataset
+// generation, sensitivity study, multitask-model training with physics
+// constraints) and the online phase (MTL warm-start prediction feeding
+// the MIPS interior-point solver, with cold restart as the 100 %-success
+// fallback). It also hosts the experiment drivers that regenerate every
+// table and figure of the paper — see DESIGN.md for the index.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/casegen"
+	"repro/internal/dataset"
+	"repro/internal/grid"
+	"repro/internal/mtl"
+	"repro/internal/opf"
+)
+
+// System bundles a power network with its prepared OPF instance.
+type System struct {
+	Name string
+	Case *grid.Case
+	OPF  *opf.OPF
+}
+
+// LoadSystem resolves one of the paper's test systems by name
+// ("case5" … "case300").
+func LoadSystem(name string) (*System, error) {
+	c, err := casegen.Paper(name)
+	if err != nil {
+		return nil, err
+	}
+	return &System{Name: name, Case: c, OPF: opf.Prepare(c)}, nil
+}
+
+// MustLoadSystem panics on failure (the paper systems are known-good).
+func MustLoadSystem(name string) *System {
+	s, err := LoadSystem(name)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// GenerateData draws n ±10 % load samples and solves them to optimality
+// (the offline phase's training-data collection).
+func (s *System) GenerateData(n int, seed int64) (*dataset.Set, error) {
+	return dataset.Generate(s.Case, dataset.DefaultPreparer, dataset.Options{N: n, Seed: seed})
+}
+
+// instanceOPF prepares the OPF of one load sample.
+func (s *System) instanceOPF(factors []float64) *opf.OPF {
+	cc := s.Case.Clone()
+	cc.ScaleLoads(factors)
+	return opf.Prepare(cc)
+}
+
+// TrainModel runs the offline training phase for a variant on the given
+// training set.
+func (s *System) TrainModel(variant mtl.Variant, train *dataset.Set, epochs int, seed int64, logf func(string, ...any)) (*mtl.Model, error) {
+	cfg := mtl.Config{Variant: variant, Seed: seed}
+	switch variant {
+	case mtl.VariantMTL:
+		cfg.Hierarchy = true
+		cfg.DetachPeriod = 4
+	case mtl.VariantSmartPGSim:
+		cfg.Hierarchy = true
+		cfg.DetachPeriod = 4
+		cfg.Physics = mtl.DefaultPhysics()
+	}
+	m := mtl.New(s.OPF.Lay, cfg)
+	var phys *mtl.Physics
+	if cfg.Physics != (mtl.PhysicsWeights{}) {
+		phys = mtl.NewPhysics(s.OPF, dataset.InputVector(s.Case))
+	}
+	// Small training sets (tests, quick runs) need smaller batches to get
+	// enough optimizer steps per epoch.
+	bs := 32
+	if n := len(train.Samples); n < 8*bs {
+		bs = n/8 + 1
+	}
+	tc := mtl.TrainConfig{Epochs: epochs, BatchSize: bs, Seed: seed, Logf: logf}
+	if _, err := mtl.Train(m, phys, train, tc); err != nil {
+		return nil, fmt.Errorf("core: training %s on %s: %w", variant, s.Name, err)
+	}
+	return m, nil
+}
+
+// SolveWarm runs the online phase for one instance: predict a warm start,
+// solve, and fall back to a cold restart on failure (guaranteeing
+// convergence as in the paper). It reports the component timings of
+// Figure 5.
+type WarmOutcome struct {
+	Converged   bool // warm-start attempt converged (before restart)
+	Iterations  int  // iterations of the successful solve
+	InferTime   time.Duration
+	WarmTime    time.Duration // solver time of the warm attempt
+	RestartTime time.Duration // cold fallback time (zero if not needed)
+	PrepTime    time.Duration
+	Cost        float64
+	Result      *opf.Result
+}
+
+// SolveWarm executes predict→warm-solve→(fallback restart).
+func (s *System) SolveWarm(m *mtl.Model, factors []float64, input []float64) *WarmOutcome {
+	o := s.instanceOPF(factors)
+	t0 := time.Now()
+	start := m.Predict(input)
+	infer := time.Since(t0)
+	r, err := o.Solve(start, opf.Options{})
+	out := &WarmOutcome{
+		Converged:  err == nil && r.Converged,
+		InferTime:  infer,
+		WarmTime:   r.SolveTime,
+		PrepTime:   r.PrepTime,
+		Iterations: r.Iterations,
+		Cost:       r.Cost,
+		Result:     r,
+	}
+	if !out.Converged {
+		// Paper: restart from the default initial point.
+		rc, err2 := o.Solve(nil, opf.Options{})
+		out.RestartTime = rc.SolveTime
+		if err2 == nil && rc.Converged {
+			out.Iterations = rc.Iterations
+			out.Cost = rc.Cost
+			out.Result = rc
+		}
+	}
+	return out
+}

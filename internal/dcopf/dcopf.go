@@ -1,0 +1,236 @@
+// Package dcopf implements the DC optimal power flow — the linearized
+// relaxation of AC-OPF discussed in the paper's related work (the problem
+// class targeted by DeepOPF and the statistical-learning baselines).
+//
+// Under the DC assumptions (flat voltage magnitudes, small angles,
+// lossless branches) the power flow becomes linear in the bus angles:
+//
+//	P = Bbus·θ,  Pf = Bf·θ,
+//
+// and the OPF reduces to a quadratic program over x = [θ; Pg], which this
+// package assembles and solves with the same MIPS interior-point kernel
+// as the AC problem. It doubles as a cross-check: the DC dispatch must
+// approximate the AC dispatch on lightly-loaded systems.
+package dcopf
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/grid"
+	"repro/internal/la"
+	"repro/internal/mips"
+	"repro/internal/sparse"
+)
+
+// Result is a solved DC-OPF.
+type Result struct {
+	Converged  bool
+	Iterations int
+	Cost       float64   // $/hr
+	Va         la.Vector // radians per bus
+	Pg         la.Vector // MW per in-service generator
+	Flows      la.Vector // MW per in-service branch (from side)
+}
+
+// Problem is a prepared DC-OPF instance.
+type Problem struct {
+	Case *grid.Case
+	bbus *sparse.CSC // nb×nb DC susceptance matrix
+	bf   *sparse.CSC // nl×nb branch flow matrix
+	pfsh la.Vector   // phase-shift injections on branches (pu)
+	gbus []int
+	gens []grid.Gen
+	ref  int
+}
+
+// Prepare builds the DC matrices (Matpower makeBdc): branch susceptance
+// b = 1/x scaled by the tap ratio, with phase shifts folded into constant
+// injections.
+func Prepare(c *grid.Case) *Problem {
+	nb := c.NB()
+	branches := c.ActiveBranches()
+	bbusB := sparse.NewBuilder(nb, nb)
+	bfB := sparse.NewBuilder(len(branches), nb)
+	pfsh := make(la.Vector, len(branches))
+	for l, br := range branches {
+		b := 1 / br.X
+		if br.Ratio != 0 {
+			b /= br.Ratio
+		}
+		f := c.BusIndex(br.From)
+		t := c.BusIndex(br.To)
+		bfB.Append(l, f, b)
+		bfB.Append(l, t, -b)
+		bbusB.Append(f, f, b)
+		bbusB.Append(f, t, -b)
+		bbusB.Append(t, f, -b)
+		bbusB.Append(t, t, b)
+		if br.Shift != 0 {
+			pfsh[l] = -b * grid.Deg2Rad(br.Shift)
+		}
+	}
+	return &Problem{
+		Case: c,
+		bbus: bbusB.ToCSC(),
+		bf:   bfB.ToCSC(),
+		pfsh: pfsh,
+		gbus: grid.GenBusIdx(c),
+		gens: c.ActiveGens(),
+		ref:  c.RefIndex(),
+	}
+}
+
+// Solve runs the interior-point method on the DC quadratic program.
+func Solve(c *grid.Case, opt mips.Options) (*Result, error) {
+	return Prepare(c).Solve(opt)
+}
+
+// Solve solves the prepared problem.
+func (p *Problem) Solve(opt mips.Options) (*Result, error) {
+	c := p.Case
+	nb := c.NB()
+	ng := len(p.gens)
+	nl := p.bf.NRows
+	nx := nb + ng
+	base := c.BaseMVA
+
+	pd := make(la.Vector, nb)
+	for i, b := range c.Buses {
+		pd[i] = (b.Pd + b.Gs) / base // shunt conductance as constant load
+	}
+	// Fold branch phase-shift injections into the bus balance.
+	shiftInj := make(la.Vector, nb)
+	branches := c.ActiveBranches()
+	for l, br := range branches {
+		if p.pfsh[l] == 0 {
+			continue
+		}
+		shiftInj[c.BusIndex(br.From)] += p.pfsh[l]
+		shiftInj[c.BusIndex(br.To)] -= p.pfsh[l]
+	}
+
+	xmin := make(la.Vector, nx)
+	xmax := make(la.Vector, nx)
+	for i := 0; i < nb; i++ {
+		xmin[i] = math.Inf(-1)
+		xmax[i] = math.Inf(1)
+	}
+	for g, gen := range p.gens {
+		xmin[nb+g] = gen.Pmin / base
+		xmax[nb+g] = gen.Pmax / base
+	}
+
+	refVa := grid.Deg2Rad(c.Buses[p.ref].Va)
+
+	// Equality Jacobian is constant: [Bbus  −Cg; e_refᵀ 0].
+	jgB := sparse.NewBuilder(nb+1, nx)
+	jgB.AppendCSC(0, 0, 1, p.bbus)
+	for g, bi := range p.gbus {
+		jgB.Append(bi, nb+g, -1)
+	}
+	jgB.Append(nb, p.ref, 1)
+	jg := jgB.ToCSC()
+
+	// Rated-branch inequality Jacobian: ±Bf rows.
+	var rated []int
+	for l, br := range branches {
+		if br.RateA > 0 {
+			rated = append(rated, l)
+		}
+	}
+	var jh *sparse.CSC
+	if len(rated) > 0 {
+		jhB := sparse.NewBuilder(2*len(rated), nx)
+		for k, l := range rated {
+			// Extract row l of Bf via its two entries (from/to bus).
+			f := c.BusIndex(branches[l].From)
+			t := c.BusIndex(branches[l].To)
+			b := p.bf.At(l, f)
+			jhB.Append(k, f, b)
+			jhB.Append(k, t, -b)
+			jhB.Append(len(rated)+k, f, -b)
+			jhB.Append(len(rated)+k, t, b)
+		}
+		jh = jhB.ToCSC()
+	}
+
+	prob := &mips.Problem{
+		NX: nx,
+		F: func(x la.Vector) (float64, la.Vector) {
+			f := 0.0
+			df := make(la.Vector, nx)
+			for g, gen := range p.gens {
+				pmw := x[nb+g] * base
+				f += gen.Cost.Eval(pmw)
+				df[nb+g] = gen.Cost.Deriv(pmw) * base
+			}
+			return f, df
+		},
+		G: func(x la.Vector) (la.Vector, *sparse.CSC) {
+			g := make(la.Vector, nb+1)
+			bth := p.bbus.MulVec(x[:nb])
+			for i := 0; i < nb; i++ {
+				g[i] = bth[i] + pd[i] + shiftInj[i]
+			}
+			for gi, bi := range p.gbus {
+				g[bi] -= x[nb+gi]
+			}
+			g[nb] = x[p.ref] - refVa
+			return g, jg
+		},
+		Hess: func(x, lam, mu la.Vector) *sparse.CSC {
+			hb := sparse.NewBuilder(nx, nx)
+			for g, gen := range p.gens {
+				if d2 := gen.Cost.Deriv2() * base * base; d2 != 0 {
+					hb.Append(nb+g, nb+g, d2)
+				}
+			}
+			return hb.ToCSC()
+		},
+		XMin: xmin,
+		XMax: xmax,
+	}
+	if jh != nil {
+		prob.H = func(x la.Vector) (la.Vector, *sparse.CSC) {
+			h := make(la.Vector, 2*len(rated))
+			flows := p.bf.MulVec(x[:nb])
+			for k, l := range rated {
+				fl := flows[l] + p.pfsh[l]
+				lim := branches[l].RateA / base
+				h[k] = fl - lim
+				h[len(rated)+k] = -fl - lim
+			}
+			return h, jh
+		}
+	}
+
+	x0 := make(la.Vector, nx)
+	for i := 0; i < nb; i++ {
+		x0[i] = refVa
+	}
+	for g := range p.gens {
+		x0[nb+g] = (xmin[nb+g] + xmax[nb+g]) / 2
+	}
+	mr, err := mips.Solve(prob, x0, nil, opt)
+	res := &Result{}
+	if mr != nil {
+		res.Converged = mr.Converged
+		res.Iterations = mr.Iterations
+		res.Cost = mr.F
+		res.Va = mr.X[:nb].Clone()
+		res.Pg = make(la.Vector, ng)
+		for g := 0; g < ng; g++ {
+			res.Pg[g] = mr.X[nb+g] * base
+		}
+		flows := p.bf.MulVec(mr.X[:nb])
+		res.Flows = make(la.Vector, nl)
+		for l := 0; l < nl; l++ {
+			res.Flows[l] = (flows[l] + p.pfsh[l]) * base
+		}
+	}
+	if err != nil {
+		return res, fmt.Errorf("dcopf: %s: %w", c.Name, err)
+	}
+	return res, nil
+}

@@ -1,0 +1,115 @@
+package dcopf
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/casegen"
+	"repro/internal/grid"
+	"repro/internal/mips"
+	"repro/internal/opf"
+)
+
+func TestCase9DC(t *testing.T) {
+	r, err := Solve(grid.Case9(), mips.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Converged {
+		t.Fatal("not converged")
+	}
+	// Matpower rundcopf on case9 gives ≈ 5216.03 $/hr.
+	if math.Abs(r.Cost-5216.03)/5216.03 > 0.01 {
+		t.Fatalf("cost = %.2f want ≈5216.03", r.Cost)
+	}
+	// Total generation equals total load exactly (lossless DC).
+	var gen float64
+	for _, pg := range r.Pg {
+		gen += pg
+	}
+	p, _ := grid.Case9().TotalLoad()
+	if math.Abs(gen-p) > 1e-4 {
+		t.Fatalf("generation %.4f != load %.4f", gen, p)
+	}
+}
+
+func TestDCBelowACCost(t *testing.T) {
+	// The DC relaxation ignores losses, so its optimal cost is below the
+	// AC optimum on the same case.
+	for _, c := range []*grid.Case{grid.Case9(), grid.Case14()} {
+		dc, err := Solve(c, mips.Options{})
+		if err != nil {
+			t.Fatalf("%s dc: %v", c.Name, err)
+		}
+		ac, err := opf.Prepare(c).Solve(nil, opf.Options{})
+		if err != nil {
+			t.Fatalf("%s ac: %v", c.Name, err)
+		}
+		if dc.Cost >= ac.Cost {
+			t.Errorf("%s: DC cost %.2f not below AC %.2f", c.Name, dc.Cost, ac.Cost)
+		}
+		// But within ~10% (the relaxation is tight on small systems).
+		if math.Abs(dc.Cost-ac.Cost)/ac.Cost > 0.10 {
+			t.Errorf("%s: DC %.2f too far from AC %.2f", c.Name, dc.Cost, ac.Cost)
+		}
+	}
+}
+
+func TestFlowLimitsRespected(t *testing.T) {
+	c := grid.Case9()
+	r, err := Solve(c, mips.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for l, br := range c.ActiveBranches() {
+		if br.RateA > 0 && math.Abs(r.Flows[l]) > br.RateA+1e-4 {
+			t.Errorf("branch %d flow %.2f exceeds rate %.1f", l, r.Flows[l], br.RateA)
+		}
+	}
+}
+
+func TestReferenceAngleFixed(t *testing.T) {
+	c := grid.Case14()
+	r, err := Solve(c, mips.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.Va[c.RefIndex()]) > 1e-8 {
+		t.Errorf("ref angle = %v", r.Va[c.RefIndex()])
+	}
+}
+
+func TestSyntheticSystemsDC(t *testing.T) {
+	for _, name := range []string{"case30", "case57"} {
+		c, err := casegen.Paper(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := Solve(c, mips.Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !r.Converged || r.Cost <= 0 {
+			t.Fatalf("%s: bad result", name)
+		}
+	}
+}
+
+func TestPhaseShiftInjection(t *testing.T) {
+	// A phase-shifting transformer alters DC flows; compare against the
+	// same case without shift.
+	c := grid.Case9()
+	c2 := c.Clone()
+	c2.Branches[1].Shift = 3
+	r1, err := Solve(c, mips.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Solve(c2, mips.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r1.Flows[1]-r2.Flows[1]) < 1e-6 {
+		t.Error("phase shift had no effect on flow")
+	}
+}

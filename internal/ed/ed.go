@@ -1,0 +1,128 @@
+// Package ed implements classical economic dispatch — the most relaxed
+// member of the OPF family in the paper's taxonomy (ED ⊂ DC-OPF ⊂
+// AC-OPF): allocate a total demand across generators at minimum cost,
+// ignoring the network entirely.
+//
+// For convex quadratic costs the optimality condition is the equal
+// incremental-cost criterion: every generator off its limits runs at the
+// common marginal price λ. The solver is the textbook lambda iteration
+// (bisection on λ with limit clamping), which serves as an independent
+// lower-bound cross-check for the DC and AC solvers: relaxing constraints
+// can only lower the optimal cost.
+package ed
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/grid"
+)
+
+// Result is a solved dispatch.
+type Result struct {
+	Pg     []float64 // MW per in-service generator
+	Lambda float64   // system marginal price, $/MWh
+	Cost   float64   // total cost, $/hr
+	Iter   int
+}
+
+// ErrInfeasible is returned when demand lies outside total capacity.
+var ErrInfeasible = errors.New("ed: demand outside total generator capacity")
+
+// Solve dispatches demand (MW) across the case's in-service generators.
+func Solve(c *grid.Case, demand float64) (*Result, error) {
+	gens := c.ActiveGens()
+	if len(gens) == 0 {
+		return nil, fmt.Errorf("ed: case %q has no in-service generators", c.Name)
+	}
+	var pmin, pmax float64
+	for _, g := range gens {
+		pmin += g.Pmin
+		pmax += g.Pmax
+	}
+	if demand < pmin-1e-9 || demand > pmax+1e-9 {
+		return nil, fmt.Errorf("%w: demand %.1f MW, capacity [%.1f, %.1f]", ErrInfeasible, demand, pmin, pmax)
+	}
+
+	// Dispatch at marginal price lam: each unit runs where cost' = lam,
+	// clamped to its limits. For linear costs (C2 = 0) the unit switches
+	// from Pmin to Pmax as lam crosses C1.
+	dispatchAt := func(lam float64) float64 {
+		total := 0.0
+		for _, g := range gens {
+			total += unitAt(g, lam)
+		}
+		return total
+	}
+
+	// Bracket lam.
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, g := range gens {
+		lo = math.Min(lo, g.Cost.Deriv(g.Pmin))
+		hi = math.Max(hi, g.Cost.Deriv(g.Pmax))
+	}
+	lo -= 1
+	hi += 1
+
+	res := &Result{}
+	for iter := 0; iter < 200; iter++ {
+		lam := (lo + hi) / 2
+		total := dispatchAt(lam)
+		res.Iter = iter + 1
+		if math.Abs(total-demand) < 1e-9 || hi-lo < 1e-13*(1+math.Abs(hi)) {
+			res.Lambda = lam
+			break
+		}
+		if total < demand {
+			lo = lam
+		} else {
+			hi = lam
+		}
+		res.Lambda = lam
+	}
+	res.Pg = make([]float64, len(gens))
+	shortfall := demand
+	for i, g := range gens {
+		res.Pg[i] = unitAt(g, res.Lambda)
+		shortfall -= res.Pg[i]
+	}
+	// Distribute any residual (from ties between identically-priced
+	// linear units) over units with headroom.
+	if math.Abs(shortfall) > 1e-9 {
+		for i, g := range gens {
+			if shortfall > 0 {
+				room := g.Pmax - res.Pg[i]
+				d := math.Min(room, shortfall)
+				res.Pg[i] += d
+				shortfall -= d
+			} else {
+				room := res.Pg[i] - g.Pmin
+				d := math.Min(room, -shortfall)
+				res.Pg[i] -= d
+				shortfall += d
+			}
+			if math.Abs(shortfall) < 1e-9 {
+				break
+			}
+		}
+	}
+	for i, g := range gens {
+		res.Cost += g.Cost.Eval(res.Pg[i])
+	}
+	return res, nil
+}
+
+// unitAt returns a generator's output at marginal price lam, clamped to
+// its limits.
+func unitAt(g grid.Gen, lam float64) float64 {
+	if g.Cost.C2 <= 0 {
+		// Linear cost: bang-bang at lam == C1.
+		if lam > g.Cost.C1 {
+			return g.Pmax
+		}
+		return g.Pmin
+	}
+	p := (lam - g.Cost.C1) / (2 * g.Cost.C2)
+	return math.Max(g.Pmin, math.Min(g.Pmax, p))
+}

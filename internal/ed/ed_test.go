@@ -1,0 +1,137 @@
+package ed
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dcopf"
+	"repro/internal/grid"
+	"repro/internal/mips"
+)
+
+func TestCase9Dispatch(t *testing.T) {
+	c := grid.Case9()
+	p, _ := c.TotalLoad()
+	r, err := Solve(c, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tot float64
+	for _, pg := range r.Pg {
+		tot += pg
+	}
+	if math.Abs(tot-p) > 1e-6 {
+		t.Fatalf("dispatch %.4f != demand %.4f", tot, p)
+	}
+	// Equal incremental cost for interior units.
+	gens := c.ActiveGens()
+	for i, g := range gens {
+		if r.Pg[i] > g.Pmin+1e-6 && r.Pg[i] < g.Pmax-1e-6 {
+			if math.Abs(g.Cost.Deriv(r.Pg[i])-r.Lambda) > 1e-6 {
+				t.Errorf("gen %d marginal cost %.4f != lambda %.4f",
+					i, g.Cost.Deriv(r.Pg[i]), r.Lambda)
+			}
+		}
+	}
+}
+
+func TestRelaxationOrdering(t *testing.T) {
+	// ED ignores the network, DC linearizes it, AC is exact:
+	// cost(ED) ≤ cost(DC) ≤ cost(AC) on the same demand.
+	c := grid.Case9()
+	p, _ := c.TotalLoad()
+	edr, err := Solve(c, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dcr, err := dcopf.Solve(c, mips.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if edr.Cost > dcr.Cost+1e-6 {
+		t.Fatalf("ED cost %.2f exceeds DC cost %.2f", edr.Cost, dcr.Cost)
+	}
+}
+
+func TestLimitsRespected(t *testing.T) {
+	c := grid.Case14()
+	p, _ := c.TotalLoad()
+	r, err := Solve(c, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, g := range c.ActiveGens() {
+		if r.Pg[i] < g.Pmin-1e-9 || r.Pg[i] > g.Pmax+1e-9 {
+			t.Errorf("gen %d dispatch %.4f outside [%.1f, %.1f]", i, r.Pg[i], g.Pmin, g.Pmax)
+		}
+	}
+}
+
+func TestInfeasibleDemand(t *testing.T) {
+	c := grid.Case9()
+	if _, err := Solve(c, 1e6); !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := Solve(c, 1); !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("below-Pmin err = %v", err)
+	}
+}
+
+func TestLinearCosts(t *testing.T) {
+	// case5 has linear costs: cheapest units saturate first
+	// (merit order: Brighton 10 < Alta 14 < ParkCity 15 < Solitude 30 < Sundance 40).
+	c := grid.Case5()
+	p, _ := c.TotalLoad()
+	r, err := Solve(c, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gens := c.ActiveGens()
+	// Brighton (index 4, $10) must be at Pmax; Sundance (index 3, $40)
+	// at Pmin.
+	if math.Abs(r.Pg[4]-gens[4].Pmax) > 1e-6 {
+		t.Errorf("cheapest unit not saturated: %.2f of %.2f", r.Pg[4], gens[4].Pmax)
+	}
+	if math.Abs(r.Pg[3]-gens[3].Pmin) > 1e-6 {
+		t.Errorf("most expensive unit dispatched: %.2f", r.Pg[3])
+	}
+}
+
+// Property: for random demands within capacity, the dispatch balances
+// exactly, respects limits, and cost is monotone in demand.
+func TestDispatchProperty(t *testing.T) {
+	c := grid.Case14()
+	gens := c.ActiveGens()
+	var pmin, pmax float64
+	for _, g := range gens {
+		pmin += g.Pmin
+		pmax += g.Pmax
+	}
+	f := func(frac float64) bool {
+		if math.IsNaN(frac) || math.IsInf(frac, 0) {
+			return true
+		}
+		frac = math.Abs(frac)
+		frac -= math.Floor(frac) // into [0,1)
+		d1 := pmin + frac*(pmax-pmin)*0.9
+		d2 := d1 + (pmax-d1)*0.05
+		r1, err1 := Solve(c, d1)
+		r2, err2 := Solve(c, d2)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		var t1 float64
+		for _, pg := range r1.Pg {
+			t1 += pg
+		}
+		if math.Abs(t1-d1) > 1e-6 {
+			return false
+		}
+		return r2.Cost >= r1.Cost-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,137 @@
+package grid
+
+// Embedded reference systems. Case9 and Case14 follow the standard
+// Matpower data (WSCC 9-bus and IEEE 14-bus); Case5 is the PJM 5-bus
+// system. Larger paper systems (30/39/57/118/300 buses) are produced by
+// internal/casegen with the Table II size profiles — see DESIGN.md for the
+// substitution rationale.
+
+// Case9 returns the WSCC 3-machine 9-bus system.
+func Case9() *Case {
+	c := &Case{
+		Name:    "case9",
+		BaseMVA: 100,
+		Buses: []Bus{
+			{ID: 1, Type: Ref, Vm: 1, BaseKV: 345, Vmax: 1.1, Vmin: 0.9},
+			{ID: 2, Type: PV, Vm: 1, BaseKV: 345, Vmax: 1.1, Vmin: 0.9},
+			{ID: 3, Type: PV, Vm: 1, BaseKV: 345, Vmax: 1.1, Vmin: 0.9},
+			{ID: 4, Type: PQ, Vm: 1, BaseKV: 345, Vmax: 1.1, Vmin: 0.9},
+			{ID: 5, Type: PQ, Pd: 90, Qd: 30, Vm: 1, BaseKV: 345, Vmax: 1.1, Vmin: 0.9},
+			{ID: 6, Type: PQ, Vm: 1, BaseKV: 345, Vmax: 1.1, Vmin: 0.9},
+			{ID: 7, Type: PQ, Pd: 100, Qd: 35, Vm: 1, BaseKV: 345, Vmax: 1.1, Vmin: 0.9},
+			{ID: 8, Type: PQ, Vm: 1, BaseKV: 345, Vmax: 1.1, Vmin: 0.9},
+			{ID: 9, Type: PQ, Pd: 125, Qd: 50, Vm: 1, BaseKV: 345, Vmax: 1.1, Vmin: 0.9},
+		},
+		Gens: []Gen{
+			{Bus: 1, Pg: 72.3, Qg: 27.03, Qmax: 300, Qmin: -300, Vg: 1.04, Pmax: 250, Pmin: 10, Status: true, Cost: PolyCost{C2: 0.11, C1: 5, C0: 150}},
+			{Bus: 2, Pg: 163, Qg: 6.54, Qmax: 300, Qmin: -300, Vg: 1.025, Pmax: 300, Pmin: 10, Status: true, Cost: PolyCost{C2: 0.085, C1: 1.2, C0: 600}},
+			{Bus: 3, Pg: 85, Qg: -10.95, Qmax: 300, Qmin: -300, Vg: 1.025, Pmax: 270, Pmin: 10, Status: true, Cost: PolyCost{C2: 0.1225, C1: 1, C0: 335}},
+		},
+		Branches: []Branch{
+			{From: 1, To: 4, X: 0.0576, RateA: 250, Status: true},
+			{From: 4, To: 5, R: 0.017, X: 0.092, B: 0.158, RateA: 250, Status: true},
+			{From: 5, To: 6, R: 0.039, X: 0.17, B: 0.358, RateA: 150, Status: true},
+			{From: 3, To: 6, X: 0.0586, RateA: 300, Status: true},
+			{From: 6, To: 7, R: 0.0119, X: 0.1008, B: 0.209, RateA: 150, Status: true},
+			{From: 7, To: 8, R: 0.0085, X: 0.072, B: 0.149, RateA: 250, Status: true},
+			{From: 8, To: 2, X: 0.0625, RateA: 250, Status: true},
+			{From: 8, To: 9, R: 0.032, X: 0.161, B: 0.306, RateA: 250, Status: true},
+			{From: 9, To: 4, R: 0.01, X: 0.085, B: 0.176, RateA: 250, Status: true},
+		},
+	}
+	mustNormalize(c)
+	return c
+}
+
+// Case5 returns the PJM 5-bus system (linear generation costs).
+func Case5() *Case {
+	c := &Case{
+		Name:    "case5",
+		BaseMVA: 100,
+		Buses: []Bus{
+			{ID: 1, Type: PV, Vm: 1, BaseKV: 230, Vmax: 1.1, Vmin: 0.9},
+			{ID: 2, Type: PQ, Pd: 300, Qd: 98.61, Vm: 1, BaseKV: 230, Vmax: 1.1, Vmin: 0.9},
+			{ID: 3, Type: PV, Pd: 300, Qd: 98.61, Vm: 1, BaseKV: 230, Vmax: 1.1, Vmin: 0.9},
+			{ID: 4, Type: Ref, Pd: 400, Qd: 131.47, Vm: 1, BaseKV: 230, Vmax: 1.1, Vmin: 0.9},
+			{ID: 5, Type: PV, Vm: 1, BaseKV: 230, Vmax: 1.1, Vmin: 0.9},
+		},
+		Gens: []Gen{
+			{Bus: 1, Pg: 40, Qmax: 30, Qmin: -30, Vg: 1, Pmax: 40, Pmin: 0, Status: true, Cost: PolyCost{C1: 14}},
+			{Bus: 1, Pg: 170, Qmax: 127.5, Qmin: -127.5, Vg: 1, Pmax: 170, Pmin: 0, Status: true, Cost: PolyCost{C1: 15}},
+			{Bus: 3, Pg: 323.49, Qmax: 390, Qmin: -390, Vg: 1, Pmax: 520, Pmin: 0, Status: true, Cost: PolyCost{C1: 30}},
+			{Bus: 4, Pg: 0, Qmax: 150, Qmin: -150, Vg: 1, Pmax: 200, Pmin: 0, Status: true, Cost: PolyCost{C1: 40}},
+			{Bus: 5, Pg: 466.51, Qmax: 450, Qmin: -450, Vg: 1, Pmax: 600, Pmin: 0, Status: true, Cost: PolyCost{C1: 10}},
+		},
+		Branches: []Branch{
+			{From: 1, To: 2, R: 0.00281, X: 0.0281, B: 0.00712, RateA: 400, Status: true},
+			{From: 1, To: 4, R: 0.00304, X: 0.0304, B: 0.00658, RateA: 426, Status: true},
+			{From: 1, To: 5, R: 0.00064, X: 0.0064, B: 0.03126, RateA: 426, Status: true},
+			{From: 2, To: 3, R: 0.00108, X: 0.0108, B: 0.01852, RateA: 426, Status: true},
+			{From: 3, To: 4, R: 0.00297, X: 0.0297, B: 0.00674, RateA: 426, Status: true},
+			{From: 4, To: 5, R: 0.00297, X: 0.0297, B: 0.00674, RateA: 240, Status: true},
+		},
+	}
+	mustNormalize(c)
+	return c
+}
+
+// Case14 returns the IEEE 14-bus system.
+func Case14() *Case {
+	c := &Case{
+		Name:    "case14",
+		BaseMVA: 100,
+		Buses: []Bus{
+			{ID: 1, Type: Ref, Vm: 1.06, BaseKV: 0, Vmax: 1.06, Vmin: 0.94},
+			{ID: 2, Type: PV, Pd: 21.7, Qd: 12.7, Vm: 1.045, Va: -4.98, Vmax: 1.06, Vmin: 0.94},
+			{ID: 3, Type: PV, Pd: 94.2, Qd: 19, Vm: 1.01, Va: -12.72, Vmax: 1.06, Vmin: 0.94},
+			{ID: 4, Type: PQ, Pd: 47.8, Qd: -3.9, Vm: 1.019, Va: -10.33, Vmax: 1.06, Vmin: 0.94},
+			{ID: 5, Type: PQ, Pd: 7.6, Qd: 1.6, Vm: 1.02, Va: -8.78, Vmax: 1.06, Vmin: 0.94},
+			{ID: 6, Type: PV, Pd: 11.2, Qd: 7.5, Vm: 1.07, Va: -14.22, Vmax: 1.06, Vmin: 0.94},
+			{ID: 7, Type: PQ, Vm: 1.062, Va: -13.37, Vmax: 1.06, Vmin: 0.94},
+			{ID: 8, Type: PV, Vm: 1.09, Va: -13.36, Vmax: 1.06, Vmin: 0.94},
+			{ID: 9, Type: PQ, Pd: 29.5, Qd: 16.6, Bs: 19, Vm: 1.056, Va: -14.94, Vmax: 1.06, Vmin: 0.94},
+			{ID: 10, Type: PQ, Pd: 9, Qd: 5.8, Vm: 1.051, Va: -15.1, Vmax: 1.06, Vmin: 0.94},
+			{ID: 11, Type: PQ, Pd: 3.5, Qd: 1.8, Vm: 1.057, Va: -14.79, Vmax: 1.06, Vmin: 0.94},
+			{ID: 12, Type: PQ, Pd: 6.1, Qd: 1.6, Vm: 1.055, Va: -15.07, Vmax: 1.06, Vmin: 0.94},
+			{ID: 13, Type: PQ, Pd: 13.5, Qd: 5.8, Vm: 1.05, Va: -15.16, Vmax: 1.06, Vmin: 0.94},
+			{ID: 14, Type: PQ, Pd: 14.9, Qd: 5, Vm: 1.036, Va: -16.04, Vmax: 1.06, Vmin: 0.94},
+		},
+		Gens: []Gen{
+			{Bus: 1, Pg: 232.4, Qg: -16.9, Qmax: 10, Qmin: 0, Vg: 1.06, Pmax: 332.4, Pmin: 0, Status: true, Cost: PolyCost{C2: 0.0430293, C1: 20}},
+			{Bus: 2, Pg: 40, Qg: 42.4, Qmax: 50, Qmin: -40, Vg: 1.045, Pmax: 140, Pmin: 0, Status: true, Cost: PolyCost{C2: 0.25, C1: 20}},
+			{Bus: 3, Pg: 0, Qg: 23.4, Qmax: 40, Qmin: 0, Vg: 1.01, Pmax: 100, Pmin: 0, Status: true, Cost: PolyCost{C2: 0.01, C1: 40}},
+			{Bus: 6, Pg: 0, Qg: 12.2, Qmax: 24, Qmin: -6, Vg: 1.07, Pmax: 100, Pmin: 0, Status: true, Cost: PolyCost{C2: 0.01, C1: 40}},
+			{Bus: 8, Pg: 0, Qg: 17.4, Qmax: 24, Qmin: -6, Vg: 1.09, Pmax: 100, Pmin: 0, Status: true, Cost: PolyCost{C2: 0.01, C1: 40}},
+		},
+		Branches: []Branch{
+			{From: 1, To: 2, R: 0.01938, X: 0.05917, B: 0.0528, Status: true},
+			{From: 1, To: 5, R: 0.05403, X: 0.22304, B: 0.0492, Status: true},
+			{From: 2, To: 3, R: 0.04699, X: 0.19797, B: 0.0438, Status: true},
+			{From: 2, To: 4, R: 0.05811, X: 0.17632, B: 0.034, Status: true},
+			{From: 2, To: 5, R: 0.05695, X: 0.17388, B: 0.0346, Status: true},
+			{From: 3, To: 4, R: 0.06701, X: 0.17103, B: 0.0128, Status: true},
+			{From: 4, To: 5, R: 0.01335, X: 0.04211, B: 0.0064, Status: true},
+			{From: 4, To: 7, X: 0.20912, Ratio: 0.978, Status: true},
+			{From: 4, To: 9, X: 0.55618, Ratio: 0.969, Status: true},
+			{From: 5, To: 6, X: 0.25202, Ratio: 0.932, Status: true},
+			{From: 6, To: 11, R: 0.09498, X: 0.1989, Status: true},
+			{From: 6, To: 12, R: 0.12291, X: 0.25581, Status: true},
+			{From: 6, To: 13, R: 0.06615, X: 0.13027, Status: true},
+			{From: 7, To: 8, X: 0.17615, Status: true},
+			{From: 7, To: 9, X: 0.11001, Status: true},
+			{From: 9, To: 10, R: 0.03181, X: 0.0845, Status: true},
+			{From: 9, To: 14, R: 0.12711, X: 0.27038, Status: true},
+			{From: 10, To: 11, R: 0.08205, X: 0.19207, Status: true},
+			{From: 12, To: 13, R: 0.22092, X: 0.19988, Status: true},
+			{From: 13, To: 14, R: 0.17093, X: 0.34802, Status: true},
+		},
+	}
+	mustNormalize(c)
+	return c
+}
+
+func mustNormalize(c *Case) {
+	if err := c.Normalize(); err != nil {
+		panic(err)
+	}
+}

@@ -1,0 +1,438 @@
+// Package mips is a Go port of the Matpower Interior Point Solver: a
+// primal–dual interior-point method for nonlinear programs
+//
+//	min f(x)  s.t.  g(x) = 0,  h(x) ≤ 0,  xmin ≤ x ≤ xmax.
+//
+// It follows the algorithm of mips.m (Wang et al., Zimmerman &
+// Murillo-Sánchez): the inequality set is slacked with Z > 0 and a
+// logarithmic barrier −γ·Σ ln Z is driven to zero; each iteration solves
+// one Newton KKT system and damps the primal and dual steps separately so
+// Z and µ stay strictly positive. Variable bounds are folded into the
+// inequality set exactly as MIPS does, so the multiplier vector µ and
+// slack vector Z cover both nonlinear constraints and bounds — the
+// objects the Smart-PGSim network predicts.
+package mips
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/la"
+	"repro/internal/sparse"
+)
+
+// Problem defines the NLP. Jacobians are row-per-constraint (neq×nx,
+// niq×nx); Hess returns the Hessian of the Lagrangian of the *nonlinear*
+// parts: ∇²f + Σλᵢ∇²gᵢ + Σµᵢ∇²hᵢ (bounds are linear and excluded).
+type Problem struct {
+	NX int // number of variables
+
+	// F evaluates the objective and its gradient.
+	F func(x la.Vector) (f float64, df la.Vector)
+	// G evaluates the nonlinear equality constraints and Jacobian
+	// (may be nil when there are none).
+	G func(x la.Vector) (g la.Vector, jac *sparse.CSC)
+	// H evaluates the nonlinear inequality constraints h(x) ≤ 0 and
+	// Jacobian (may be nil).
+	H func(x la.Vector) (h la.Vector, jac *sparse.CSC)
+	// Hess evaluates the Lagrangian Hessian for the given multipliers
+	// (lam for G rows, mu for H rows). May be nil only if F is quadratic
+	// and G/H are nil (then a finite-difference fallback is NOT provided;
+	// callers must supply Hess whenever G or H is set).
+	Hess func(x la.Vector, lam, mu la.Vector) *sparse.CSC
+
+	// XMin and XMax are variable bounds; nil means unbounded. Use
+	// math.Inf entries for individually unbounded variables.
+	XMin, XMax la.Vector
+}
+
+// Options tunes the solver. Zero values take the MIPS defaults.
+type Options struct {
+	FeasTol, GradTol, CompTol, CostTol float64 // default 1e-6
+	MaxIter                            int     // default 150
+	Xi                                 float64 // step back-off, default 0.99995
+	Sigma                              float64 // centering parameter, default 0.1
+	Z0                                 float64 // initial slack scale, default 1
+	Gamma0                             float64 // initial barrier; default 1 (cold start)
+	RecordTrace                        bool    // keep per-iteration Trace
+}
+
+func (o Options) withDefaults() Options {
+	def := func(v *float64, d float64) {
+		if *v == 0 {
+			*v = d
+		}
+	}
+	def(&o.FeasTol, 1e-6)
+	def(&o.GradTol, 1e-6)
+	def(&o.CompTol, 1e-6)
+	def(&o.CostTol, 1e-6)
+	def(&o.Xi, 0.99995)
+	def(&o.Sigma, 0.1)
+	def(&o.Z0, 1)
+	def(&o.Gamma0, 1)
+	if o.MaxIter == 0 {
+		o.MaxIter = 150
+	}
+	return o
+}
+
+// WarmStart seeds the interior-point iteration. Any nil field falls back
+// to the cold-start default. Mu and Z must cover the full inequality set
+// (nonlinear h rows first, then upper-bound rows, then lower-bound rows —
+// see Result.BoundLayout).
+type WarmStart struct {
+	X   la.Vector
+	Lam la.Vector // equality multipliers
+	Mu  la.Vector // inequality multipliers (> 0)
+	Z   la.Vector // slacks (> 0)
+}
+
+// IterStat is one row of the convergence trace (Figure 10 of the paper).
+type IterStat struct {
+	Iter      int
+	StepSize  float64 // |Δx|∞ of the accepted primal step
+	FeasCond  float64
+	GradCond  float64
+	CompCond  float64
+	CostCond  float64
+	Gamma     float64
+	Objective float64
+}
+
+// Result reports the solver outcome.
+type Result struct {
+	Converged  bool
+	Iterations int
+	X          la.Vector
+	F          float64
+	Lam        la.Vector // equality multipliers
+	Mu         la.Vector // full inequality multipliers (h rows + bounds)
+	Z          la.Vector // full slack vector
+	MuUpper    la.Vector // per-variable upper-bound multipliers (len nx)
+	MuLower    la.Vector // per-variable lower-bound multipliers (len nx)
+	Trace      []IterStat
+	// NIqNonlin is the number of nonlinear inequality rows; bound rows
+	// follow in Mu/Z (upper bounds then lower bounds, finite only).
+	NIqNonlin int
+	// UpperIdx/LowerIdx give the variable index of each bound row.
+	UpperIdx, LowerIdx []int
+}
+
+// ErrNumeric is returned when the KKT system cannot be solved.
+var ErrNumeric = errors.New("mips: numerical failure in KKT solve")
+
+// ErrMaxIter is returned when the iteration limit is reached.
+var ErrMaxIter = errors.New("mips: maximum iterations reached without convergence")
+
+// Solve runs the primal–dual interior-point iteration from x0 (or the
+// warm start, if ws is non-nil).
+func Solve(p *Problem, x0 la.Vector, ws *WarmStart, opt Options) (*Result, error) {
+	opt = opt.withDefaults()
+	nx := p.NX
+	if len(x0) != nx {
+		panic(fmt.Sprintf("mips: x0 length %d != NX %d", len(x0), nx))
+	}
+
+	// Index the finite bounds once; they become linear inequality rows.
+	var upperIdx, lowerIdx []int
+	for i := 0; i < nx; i++ {
+		if p.XMax != nil && !math.IsInf(p.XMax[i], 1) {
+			upperIdx = append(upperIdx, i)
+		}
+	}
+	for i := 0; i < nx; i++ {
+		if p.XMin != nil && !math.IsInf(p.XMin[i], -1) {
+			lowerIdx = append(lowerIdx, i)
+		}
+	}
+
+	x := x0.Clone()
+	if ws != nil && ws.X != nil {
+		x = ws.X.Clone()
+	}
+	// Keep the start strictly usable: clip into bounds.
+	clipBounds(x, p.XMin, p.XMax)
+
+	evalGH := func(x la.Vector) (g la.Vector, jg *sparse.CSC, h la.Vector, jh *sparse.CSC) {
+		if p.G != nil {
+			g, jg = p.G(x)
+		}
+		if p.H != nil {
+			h, jh = p.H(x)
+		}
+		// Append bound rows: x - xmax ≤ 0 and xmin - x ≤ 0.
+		nh := len(h)
+		niq := nh + len(upperIdx) + len(lowerIdx)
+		hFull := make(la.Vector, niq)
+		copy(hFull, h)
+		jb := sparse.NewBuilder(niq, nx)
+		if jh != nil {
+			jb.AppendCSC(0, 0, 1, jh)
+		}
+		for k, i := range upperIdx {
+			hFull[nh+k] = x[i] - p.XMax[i]
+			jb.Append(nh+k, i, 1)
+		}
+		off := nh + len(upperIdx)
+		for k, i := range lowerIdx {
+			hFull[off+k] = p.XMin[i] - x[i]
+			jb.Append(off+k, i, -1)
+		}
+		return g, jg, hFull, jb.ToCSC()
+	}
+
+	g, jg, h, jh := evalGH(x)
+	neq, niq := len(g), len(h)
+	nh := niq - len(upperIdx) - len(lowerIdx)
+
+	// Initialize slacks and multipliers (mips.m defaults).
+	z := make(la.Vector, niq)
+	mu := make(la.Vector, niq)
+	gamma := opt.Gamma0
+	for k := 0; k < niq; k++ {
+		z[k] = opt.Z0
+		if h[k] < -opt.Z0 {
+			z[k] = -h[k]
+		}
+	}
+	for k := 0; k < niq; k++ {
+		mu[k] = opt.Z0
+		if gamma/z[k] > opt.Z0 {
+			mu[k] = gamma / z[k]
+		}
+	}
+	lam := make(la.Vector, neq)
+	if ws != nil {
+		if ws.Lam != nil {
+			if len(ws.Lam) != neq {
+				panic("mips: warm-start Lam length mismatch")
+			}
+			lam = ws.Lam.Clone()
+		}
+		if ws.Mu != nil {
+			if len(ws.Mu) != niq {
+				panic("mips: warm-start Mu length mismatch")
+			}
+			for k := range mu {
+				mu[k] = math.Max(ws.Mu[k], 1e-10)
+			}
+		}
+		if ws.Z != nil {
+			if len(ws.Z) != niq {
+				panic("mips: warm-start Z length mismatch")
+			}
+			for k := range z {
+				z[k] = math.Max(ws.Z[k], 1e-10)
+			}
+		}
+		if ws.Mu != nil && ws.Z != nil && niq > 0 {
+			// Barrier consistent with the supplied point; this is what
+			// lets a high-quality warm start converge in a few steps.
+			gamma = math.Max(opt.Sigma*z.Dot(mu)/float64(niq), 1e-12)
+		}
+	}
+
+	res := &Result{
+		X: x, Lam: lam, Mu: mu, Z: z,
+		NIqNonlin: nh, UpperIdx: upperIdx, LowerIdx: lowerIdx,
+	}
+
+	f, df := p.F(x)
+	f0 := f
+	regKKT := 0.0 // escalating Tikhonov regularization after KKT failures
+
+	for iter := 0; iter <= opt.MaxIter; iter++ {
+		// Lagrangian gradient Lx = df + Jgᵀλ + Jhᵀµ.
+		lx := df.Clone()
+		if jg != nil {
+			lx.Add(jg.MulVecT(lam))
+		}
+		lx.Add(jh.MulVecT(mu))
+
+		maxH := math.Inf(-1)
+		if niq == 0 {
+			maxH = 0
+		}
+		for _, v := range h {
+			if v > maxH {
+				maxH = v
+			}
+		}
+		feas := math.Max(g.NormInf(), maxH) / (1 + math.Max(x.NormInf(), z.NormInf()))
+		grad := lx.NormInf() / (1 + math.Max(lam.NormInf(), mu.NormInf()))
+		comp := 0.0
+		if niq > 0 {
+			comp = z.Dot(mu) / (1 + x.NormInf())
+		}
+		cost := math.Abs(f-f0) / (1 + math.Abs(f0))
+		res.Iterations = iter
+
+		if opt.RecordTrace {
+			res.Trace = append(res.Trace, IterStat{
+				Iter: iter, FeasCond: feas, GradCond: grad,
+				CompCond: comp, CostCond: cost, Gamma: gamma, Objective: f,
+			})
+		}
+		if feas < opt.FeasTol && grad < opt.GradTol && comp < opt.CompTol &&
+			cost < opt.CostTol {
+			res.Converged = true
+			break
+		}
+		if iter == opt.MaxIter {
+			res.F = f
+			return res, ErrMaxIter
+		}
+		if x.HasNaN() || lam.HasNaN() || mu.HasNaN() {
+			res.F = f
+			return res, fmt.Errorf("%w: NaN in iterates at iteration %d", ErrNumeric, iter)
+		}
+
+		// Newton KKT system.
+		lxx := hessOrZero(p, x, lam, mu, nh)
+		w := make(la.Vector, niq) // µ/Z
+		for k := 0; k < niq; k++ {
+			w[k] = mu[k] / z[k]
+		}
+		m := jtDiagJ(jh, w)
+		m = m.AddScaled(1, lxx)
+		if regKKT > 0 {
+			m = m.AddScaled(regKKT, sparse.Identity(nx))
+		}
+		nvec := lx.Clone()
+		tmp := make(la.Vector, niq)
+		for k := 0; k < niq; k++ {
+			tmp[k] = (mu[k]*h[k] + gamma) / z[k]
+		}
+		nvec.Add(jh.MulVecT(tmp))
+
+		kkt := sparse.NewBuilder(nx+neq, nx+neq)
+		kkt.AppendCSC(0, 0, 1, m)
+		if jg != nil {
+			kkt.AppendCSC(nx, 0, 1, jg)
+			kkt.AppendCSC(0, nx, 1, jg.T())
+		}
+		rhs := make(la.Vector, nx+neq)
+		for i := 0; i < nx; i++ {
+			rhs[i] = -nvec[i]
+		}
+		for i := 0; i < neq; i++ {
+			rhs[nx+i] = -g[i]
+		}
+		fac, ferr := sparse.Factorize(kkt.ToCSC())
+		if ferr != nil {
+			// Retry the same iteration with escalating Tikhonov
+			// regularization on the (1,1) block.
+			if regKKT == 0 {
+				regKKT = 1e-8
+			} else {
+				regKKT *= 100
+			}
+			if regKKT > 1e-2 {
+				res.F = f
+				return res, fmt.Errorf("%w: %v", ErrNumeric, ferr)
+			}
+			continue
+		}
+		dxdlam := fac.Solve(rhs)
+
+		dx := la.Vector(dxdlam[:nx])
+		dlam := la.Vector(dxdlam[nx:])
+		dz := make(la.Vector, niq)
+		jdx := jh.MulVec(dx)
+		for k := 0; k < niq; k++ {
+			dz[k] = -h[k] - z[k] - jdx[k]
+		}
+		dmu := make(la.Vector, niq)
+		for k := 0; k < niq; k++ {
+			dmu[k] = -mu[k] + (gamma-mu[k]*dz[k])/z[k]
+		}
+
+		// Fraction-to-the-boundary step lengths.
+		alphaP, alphaD := 1.0, 1.0
+		for k := 0; k < niq; k++ {
+			if dz[k] < 0 {
+				if a := opt.Xi * z[k] / -dz[k]; a < alphaP {
+					alphaP = a
+				}
+			}
+			if dmu[k] < 0 {
+				if a := opt.Xi * mu[k] / -dmu[k]; a < alphaD {
+					alphaD = a
+				}
+			}
+		}
+
+		x.AddScaled(alphaP, dx)
+		z.AddScaled(alphaP, dz)
+		lam.AddScaled(alphaD, dlam)
+		mu.AddScaled(alphaD, dmu)
+		if niq > 0 {
+			gamma = opt.Sigma * z.Dot(mu) / float64(niq)
+		}
+		if opt.RecordTrace {
+			res.Trace[len(res.Trace)-1].StepSize = dx.NormInf() * alphaP
+		}
+
+		f0 = f
+		f, df = p.F(x)
+		g, jg, h, jh = evalGH(x)
+	}
+
+	res.F = f
+	// Split bound multipliers back out per variable.
+	res.MuUpper = make(la.Vector, nx)
+	res.MuLower = make(la.Vector, nx)
+	for k, i := range upperIdx {
+		res.MuUpper[i] = mu[nh+k]
+	}
+	off := nh + len(upperIdx)
+	for k, i := range lowerIdx {
+		res.MuLower[i] = mu[off+k]
+	}
+	if !res.Converged {
+		return res, ErrMaxIter
+	}
+	return res, nil
+}
+
+func hessOrZero(p *Problem, x, lam, mu la.Vector, nh int) *sparse.CSC {
+	if p.Hess == nil {
+		return sparse.NewBuilder(p.NX, p.NX).ToCSC()
+	}
+	// Only the nonlinear inequality multipliers reach the Hessian.
+	return p.Hess(x, lam, mu[:nh])
+}
+
+// jtDiagJ computes Jᵀ·diag(w)·J for a row-per-constraint Jacobian.
+func jtDiagJ(j *sparse.CSC, w la.Vector) *sparse.CSC {
+	// Work row-wise: columns of Jᵀ are rows of J.
+	jt := j.T() // nx × niq: column r holds row r of J
+	nx := j.NCols
+	b := sparse.NewBuilder(nx, nx)
+	for r := 0; r < jt.NCols; r++ {
+		wr := w[r]
+		if wr == 0 {
+			continue
+		}
+		lo, hi := jt.ColPtr[r], jt.ColPtr[r+1]
+		for p1 := lo; p1 < hi; p1++ {
+			for p2 := lo; p2 < hi; p2++ {
+				b.Append(jt.RowIdx[p1], jt.RowIdx[p2], wr*jt.Val[p1]*jt.Val[p2])
+			}
+		}
+	}
+	return b.ToCSC()
+}
+
+func clipBounds(x, xmin, xmax la.Vector) {
+	for i := range x {
+		if xmin != nil && x[i] < xmin[i] {
+			x[i] = xmin[i]
+		}
+		if xmax != nil && x[i] > xmax[i] {
+			x[i] = xmax[i]
+		}
+	}
+}

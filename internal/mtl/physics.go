@@ -1,0 +1,126 @@
+package mtl
+
+import (
+	"math"
+
+	"repro/internal/la"
+	"repro/internal/opf"
+)
+
+// Physics evaluates the four physics-informed loss terms of Section VII
+// against a base OPF instance. The admittance structure, flow limits,
+// bounds and cost model are load-independent, so one prepared instance
+// serves every sample; only the power-balance residual shifts with the
+// sampled loads, by exactly (load_sample − load_base) in per unit.
+type Physics struct {
+	OPF    *opf.OPF
+	baseIn la.Vector // [Pd; Qd] pu of the base case
+}
+
+// NewPhysics wraps a prepared base-case OPF.
+func NewPhysics(o *opf.OPF, baseInput la.Vector) *Physics {
+	return &Physics{OPF: o, baseIn: baseInput.Clone()}
+}
+
+// expClamp keeps the exponential penalties finite during early training.
+const expClamp = 30.0
+
+func cexp(v float64) float64 {
+	if v > expClamp {
+		v = expClamp
+	}
+	return math.Exp(v)
+}
+
+// AC evaluates f_AC (Eqn 5): the L1 norm of the AC nodal power-balance
+// residual at the predicted X, for the sample with model input `in`.
+// Returns the loss and its gradient with respect to X (physical units).
+func (p *Physics) AC(x, in la.Vector) (float64, la.Vector) {
+	g, jac := p.OPF.Equality(x)
+	nb2 := 2 * p.OPF.Lay.NB
+	sign := make(la.Vector, len(g))
+	loss := 0.0
+	for i := 0; i < nb2; i++ {
+		gi := g[i] + (in[i] - p.baseIn[i]) // shift residual to sample loads
+		loss += math.Abs(gi)
+		sign[i] = sgn(gi)
+	}
+	return loss, jac.MulVecT(sign)
+}
+
+// Ieq evaluates f_ieq (Eqn 6): exponential penalties on branch-flow
+// violations and bound violations of the predicted X.
+func (p *Physics) Ieq(x la.Vector) (float64, la.Vector) {
+	grad := make(la.Vector, len(x))
+	loss := 0.0
+	h, jac := p.OPF.Inequality(x)
+	if len(h) > 0 {
+		w := make(la.Vector, len(h))
+		for i, v := range h {
+			e := cexp(v)
+			loss += e
+			w[i] = e
+		}
+		grad.Add(jac.MulVecT(w))
+	}
+	xmin, xmax := p.OPF.Bounds()
+	for i := range x {
+		if !math.IsInf(xmax[i], 1) {
+			e := cexp(x[i] - xmax[i])
+			loss += e
+			grad[i] += e
+		}
+		if !math.IsInf(xmin[i], -1) {
+			e := cexp(xmin[i] - x[i])
+			loss += e
+			grad[i] -= e
+		}
+	}
+	return loss, grad
+}
+
+// Cost evaluates f_f(X) (Eqn 7): |f(X̂) − f0| / (1 + |f0|), the relative
+// deviation of the predicted dispatch cost from the ground truth.
+func (p *Physics) Cost(x la.Vector, f0 float64) (float64, la.Vector) {
+	f, df := p.OPF.CostGrad(x)
+	scale := 1 / (1 + math.Abs(f0))
+	d := f - f0
+	return math.Abs(d) * scale, df.Scale(sgn(d) * scale)
+}
+
+// Lag evaluates f_Lag (Eqn 8): |λᵀG(X)| + |µᵀ(H(X)+Z)| with the predicted
+// multipliers and slacks. It returns the loss and gradients with respect
+// to X, λ, µ and Z (physical units).
+func (p *Physics) Lag(x, lam, mu, z, in la.Vector) (loss float64, gx, glam, gmu, gz la.Vector) {
+	g, jg := p.OPF.Equality(x)
+	nb2 := 2 * p.OPF.Lay.NB
+	for i := 0; i < nb2; i++ {
+		g[i] += in[i] - p.baseIn[i]
+	}
+	h, jh := p.OPF.FullInequality(x)
+
+	termG := lam.Dot(g)
+	sG := sgn(termG)
+	hz := h.Clone().Add(z)
+	termH := mu.Dot(hz)
+	sH := sgn(termH)
+	loss = math.Abs(termG) + math.Abs(termH)
+
+	gx = jg.MulVecT(lam.Clone().Scale(sG))
+	gx.Add(jh.MulVecT(mu.Clone().Scale(sH)))
+	glam = g.Scale(sG)
+	gmu = hz.Scale(sH)
+	gz = mu.Clone().Scale(sH)
+	return loss, gx, glam, gmu, gz
+}
+
+func sgn(v float64) float64 {
+	switch {
+	case v > 0:
+		return 1
+	case v < 0:
+		return -1
+	default:
+		return 0
+	}
+}

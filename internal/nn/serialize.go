@@ -1,0 +1,38 @@
+package nn
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// SaveParams writes the parameter values (not gradients) in list order.
+func SaveParams(w io.Writer, params []*Param) error {
+	enc := gob.NewEncoder(w)
+	vals := make([][]float64, len(params))
+	for i, p := range params {
+		vals[i] = p.Val
+	}
+	return enc.Encode(vals)
+}
+
+// LoadParams restores values saved by SaveParams into an identically
+// shaped parameter list.
+func LoadParams(r io.Reader, params []*Param) error {
+	dec := gob.NewDecoder(r)
+	var vals [][]float64
+	if err := dec.Decode(&vals); err != nil {
+		return err
+	}
+	if len(vals) != len(params) {
+		return fmt.Errorf("nn: snapshot has %d tensors, model has %d", len(vals), len(params))
+	}
+	for i, p := range params {
+		if len(vals[i]) != len(p.Val) {
+			return fmt.Errorf("nn: tensor %d (%s) has %d values, model expects %d",
+				i, p.Name, len(vals[i]), len(p.Val))
+		}
+		copy(p.Val, vals[i])
+	}
+	return nil
+}

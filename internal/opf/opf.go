@@ -1,0 +1,477 @@
+// Package opf assembles the AC optimal power flow problem
+//
+//	min  Σ costᵢ(Pgᵢ)
+//	s.t. power balance at every bus (real and reactive),
+//	     reference angle fixed,
+//	     |Sf|², |St|² within branch ratings,
+//	     Vm, Pg, Qg within their limits,
+//
+// over x = [Va; Vm; Pg; Qg] and solves it with the MIPS primal–dual
+// interior-point solver. The warm-start path accepts predicted
+// (X, λ, µ, Z) — the Smart-PGSim acceleration interface.
+package opf
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/grid"
+	"repro/internal/la"
+	"repro/internal/mips"
+	"repro/internal/sparse"
+)
+
+// Layout describes the variable and constraint packing of an OPF instance.
+type Layout struct {
+	NB, NG  int // buses, in-service generators
+	NLRated int // branches with finite RateA
+	NX      int // 2*NB + 2*NG
+	NEq     int // 2*NB + 1 (paper's #λ)
+	NIq     int // 2*NLRated + finite bounds (paper's #µ)
+
+	VaOff, VmOff, PgOff, QgOff int // offsets into x
+}
+
+// Start is a warm-start point in problem coordinates (the layout of X, λ,
+// µ and Z produced by Result and predicted by the MTL model).
+type Start struct {
+	X   la.Vector // len NX
+	Lam la.Vector // len NEq
+	Mu  la.Vector // len NIq
+	Z   la.Vector // len NIq
+}
+
+// Result is a solved (or failed) AC-OPF.
+type Result struct {
+	Converged  bool
+	Iterations int
+	Cost       float64   // objective, $/hr
+	Va         la.Vector // radians, per bus
+	Vm         la.Vector // pu, per bus
+	Pg, Qg     la.Vector // MW / MVAr, per in-service generator
+
+	X   la.Vector // raw optimization vector
+	Lam la.Vector // equality multipliers [λP; λQ; λref]
+	Mu  la.Vector // inequality multipliers (flows then bounds)
+	Z   la.Vector // slack variables
+
+	PrepTime  time.Duration // problem construction
+	SolveTime time.Duration // interior-point iterations
+	Trace     []mips.IterStat
+}
+
+// OPF is a prepared AC-OPF instance, reusable across solves with
+// different starts.
+type OPF struct {
+	Case   *grid.Case
+	Y      *grid.YMatrices
+	Lay    Layout
+	ratedY *grid.YMatrices // admittances restricted to rated branches
+	rates2 la.Vector       // squared pu ratings per rated branch
+	gbus   []int           // bus index per in-service generator
+	gens   []grid.Gen
+	xmin   la.Vector
+	xmax   la.Vector
+	refIdx int
+	refVa  float64
+	prep   time.Duration
+}
+
+// Prepare builds the admittance matrices, bounds and constraint layout
+// for the case.
+func Prepare(c *grid.Case) *OPF {
+	t0 := time.Now()
+	nb := c.NB()
+	gens := c.ActiveGens()
+	ng := len(gens)
+	y := grid.MakeYbus(c)
+
+	// Rated-branch subset.
+	var fIdx, tIdx []int
+	ratedYf := &grid.BranchMat{NB: nb}
+	ratedYt := &grid.BranchMat{NB: nb}
+	var rates2 la.Vector
+	branches := c.ActiveBranches()
+	for l, br := range branches {
+		if br.RateA <= 0 {
+			continue
+		}
+		fIdx = append(fIdx, y.FIdx[l])
+		tIdx = append(tIdx, y.TIdx[l])
+		ratedYf.F = append(ratedYf.F, y.Yf.F[l])
+		ratedYf.T = append(ratedYf.T, y.Yf.T[l])
+		ratedYf.Vf = append(ratedYf.Vf, y.Yf.Vf[l])
+		ratedYf.Vt = append(ratedYf.Vt, y.Yf.Vt[l])
+		ratedYt.F = append(ratedYt.F, y.Yt.F[l])
+		ratedYt.T = append(ratedYt.T, y.Yt.T[l])
+		ratedYt.Vf = append(ratedYt.Vf, y.Yt.Vf[l])
+		ratedYt.Vt = append(ratedYt.Vt, y.Yt.Vt[l])
+		r := br.RateA / c.BaseMVA
+		rates2 = append(rates2, r*r)
+	}
+	nlr := len(rates2)
+
+	lay := Layout{
+		NB: nb, NG: ng, NLRated: nlr,
+		NX:    2*nb + 2*ng,
+		NEq:   2*nb + 1,
+		VaOff: 0, VmOff: nb, PgOff: 2 * nb, QgOff: 2*nb + ng,
+	}
+	xmin := make(la.Vector, lay.NX)
+	xmax := make(la.Vector, lay.NX)
+	for i := 0; i < nb; i++ {
+		xmin[lay.VaOff+i] = math.Inf(-1)
+		xmax[lay.VaOff+i] = math.Inf(1)
+		xmin[lay.VmOff+i] = c.Buses[i].Vmin
+		xmax[lay.VmOff+i] = c.Buses[i].Vmax
+	}
+	for g := 0; g < ng; g++ {
+		xmin[lay.PgOff+g] = gens[g].Pmin / c.BaseMVA
+		xmax[lay.PgOff+g] = gens[g].Pmax / c.BaseMVA
+		xmin[lay.QgOff+g] = gens[g].Qmin / c.BaseMVA
+		xmax[lay.QgOff+g] = gens[g].Qmax / c.BaseMVA
+	}
+	nFinite := 0
+	for i := range xmin {
+		if !math.IsInf(xmin[i], -1) {
+			nFinite++
+		}
+		if !math.IsInf(xmax[i], 1) {
+			nFinite++
+		}
+	}
+	lay.NIq = 2*nlr + nFinite
+
+	o := &OPF{
+		Case: c, Y: y, Lay: lay,
+		ratedY: &grid.YMatrices{Ybus: y.Ybus, Yf: ratedYf, Yt: ratedYt, FIdx: fIdx, TIdx: tIdx},
+		rates2: rates2,
+		gbus:   grid.GenBusIdx(c),
+		gens:   gens,
+		xmin:   xmin, xmax: xmax,
+		refIdx: c.RefIndex(),
+		refVa:  grid.Deg2Rad(c.Buses[c.RefIndex()].Va),
+	}
+	o.prep = time.Since(t0)
+	return o
+}
+
+// DefaultStart returns the Matpower-style interior starting point: bounded
+// variables at the midpoint of their range and every angle at the
+// reference angle.
+func (o *OPF) DefaultStart() la.Vector {
+	x := make(la.Vector, o.Lay.NX)
+	for i := range x {
+		lo, hi := o.xmin[i], o.xmax[i]
+		switch {
+		case math.IsInf(lo, -1) && math.IsInf(hi, 1):
+			x[i] = 0
+		case math.IsInf(lo, -1):
+			x[i] = hi
+		case math.IsInf(hi, 1):
+			x[i] = lo
+		default:
+			x[i] = (lo + hi) / 2
+		}
+	}
+	for i := 0; i < o.Lay.NB; i++ {
+		x[o.Lay.VaOff+i] = o.refVa
+	}
+	return x
+}
+
+// Options re-exports the MIPS options for OPF callers.
+type Options = mips.Options
+
+// Solve runs the interior-point method from the given start (nil for the
+// default cold start). The returned error wraps mips failures; the Result
+// always reports iterations and timing.
+func (o *OPF) Solve(start *Start, opt Options) (*Result, error) {
+	p := o.problem()
+	var ws *mips.WarmStart
+	if start != nil {
+		ws = &mips.WarmStart{X: start.X, Lam: start.Lam, Mu: start.Mu, Z: start.Z}
+	}
+	t0 := time.Now()
+	mr, err := mips.Solve(p, o.DefaultStart(), ws, opt)
+	solveTime := time.Since(t0)
+	res := o.extract(mr)
+	res.PrepTime = o.prep
+	res.SolveTime = solveTime
+	if err != nil {
+		return res, fmt.Errorf("opf: %s: %w", o.Case.Name, err)
+	}
+	return res, nil
+}
+
+func (o *OPF) extract(mr *mips.Result) *Result {
+	lay := o.Lay
+	res := &Result{
+		Converged:  mr.Converged,
+		Iterations: mr.Iterations,
+		Cost:       mr.F,
+		X:          mr.X,
+		Lam:        mr.Lam,
+		Mu:         mr.Mu,
+		Z:          mr.Z,
+		Trace:      mr.Trace,
+		Va:         mr.X[lay.VaOff : lay.VaOff+lay.NB].Clone(),
+		Vm:         mr.X[lay.VmOff : lay.VmOff+lay.NB].Clone(),
+	}
+	res.Pg = make(la.Vector, lay.NG)
+	res.Qg = make(la.Vector, lay.NG)
+	for g := 0; g < lay.NG; g++ {
+		res.Pg[g] = mr.X[lay.PgOff+g] * o.Case.BaseMVA
+		res.Qg[g] = mr.X[lay.QgOff+g] * o.Case.BaseMVA
+	}
+	return res
+}
+
+// Cost evaluates the generation cost of a raw x vector in $/hr.
+func (o *OPF) Cost(x la.Vector) float64 {
+	f, _ := o.costGrad(x)
+	return f
+}
+
+func (o *OPF) costGrad(x la.Vector) (float64, la.Vector) {
+	lay := o.Lay
+	base := o.Case.BaseMVA
+	f := 0.0
+	df := make(la.Vector, lay.NX)
+	for g, gen := range o.gens {
+		pmw := x[lay.PgOff+g] * base
+		f += gen.Cost.Eval(pmw)
+		df[lay.PgOff+g] = gen.Cost.Deriv(pmw) * base
+	}
+	return f, df
+}
+
+// Constraints evaluates g(x) and h(x) (nonlinear rows only) at x — used
+// by tests and by the physics-informed losses.
+func (o *OPF) Constraints(x la.Vector) (g, h la.Vector) {
+	g, _ = o.equality(x, false)
+	h, _ = o.inequality(x, false)
+	return g, h
+}
+
+func (o *OPF) problem() *mips.Problem {
+	return &mips.Problem{
+		NX: o.Lay.NX,
+		F:  o.costGrad,
+		G: func(x la.Vector) (la.Vector, *sparse.CSC) {
+			return o.equality(x, true)
+		},
+		H: func(x la.Vector) (la.Vector, *sparse.CSC) {
+			if o.Lay.NLRated == 0 {
+				return nil, nil
+			}
+			return o.inequality(x, true)
+		},
+		Hess: o.hessian,
+		XMin: o.xmin,
+		XMax: o.xmax,
+	}
+}
+
+func (o *OPF) voltages(x la.Vector) []complex128 {
+	lay := o.Lay
+	return grid.Voltage(x[lay.VmOff:lay.VmOff+lay.NB], x[lay.VaOff:lay.VaOff+lay.NB])
+}
+
+// equality builds [Re(mis); Im(mis); Va_ref − Va0] and its Jacobian.
+func (o *OPF) equality(x la.Vector, wantJac bool) (la.Vector, *sparse.CSC) {
+	lay := o.Lay
+	nb := lay.NB
+	v := o.voltages(x)
+	sbus := grid.MakeSbus(o.Case, x[lay.PgOff:lay.PgOff+lay.NG], x[lay.QgOff:lay.QgOff+lay.NG])
+	mis := grid.PowerMismatch(o.Y, v, sbus)
+	g := make(la.Vector, lay.NEq)
+	for i := 0; i < nb; i++ {
+		g[i] = real(mis[i])
+		g[nb+i] = imag(mis[i])
+	}
+	g[2*nb] = x[lay.VaOff+o.refIdx] - o.refVa
+	if !wantJac {
+		return g, nil
+	}
+	dVa, dVm := grid.DSbusDV(o.Y.Ybus, v)
+	jb := sparse.NewBuilder(lay.NEq, lay.NX)
+	appendComplexBlock(jb, dVa, 0, lay.VaOff, nb)
+	appendComplexBlock(jb, dVm, 0, lay.VmOff, nb)
+	for gi, b := range o.gbus {
+		jb.Append(b, lay.PgOff+gi, -1)    // dRe(mis)/dPg
+		jb.Append(nb+b, lay.QgOff+gi, -1) // dIm(mis)/dQg
+	}
+	jb.Append(2*nb, lay.VaOff+o.refIdx, 1) // reference angle row
+	return g, jb.ToCSC()
+}
+
+// appendComplexBlock writes Re(m) rows at rowOff and Im(m) rows at
+// rowOff+nb into the builder, at column offset colOff.
+func appendComplexBlock(jb *sparse.Builder, m *sparse.CSCComplex, rowOff, colOff, nb int) {
+	for j := 0; j < m.NCols; j++ {
+		for p := m.ColPtr[j]; p < m.ColPtr[j+1]; p++ {
+			i := m.RowIdx[p]
+			jb.Append(rowOff+i, colOff+j, real(m.Val[p]))
+			jb.Append(rowOff+nb+i, colOff+j, imag(m.Val[p]))
+		}
+	}
+}
+
+// inequality builds [|Sf|²−rate²; |St|²−rate²] over rated branches.
+func (o *OPF) inequality(x la.Vector, wantJac bool) (la.Vector, *sparse.CSC) {
+	lay := o.Lay
+	nlr := lay.NLRated
+	if nlr == 0 {
+		return nil, nil
+	}
+	v := o.voltages(x)
+	if !wantJac {
+		sf, st := grid.BranchFlows(o.ratedY, v)
+		return o.flowViolations(sf, st), nil
+	}
+	dSfVa, dSfVm, dStVa, dStVm, sf, st := grid.DSbrDV(o.ratedY, v)
+	h := o.flowViolations(sf, st)
+	dAfVa, dAfVm := grid.DAbrDV(dSfVa, dSfVm, sf)
+	dAtVa, dAtVm := grid.DAbrDV(dStVa, dStVm, st)
+	jb := sparse.NewBuilder(2*nlr, lay.NX)
+	appendBranchReal(jb, dAfVa, 0, lay.VaOff)
+	appendBranchReal(jb, dAfVm, 0, lay.VmOff)
+	appendBranchReal(jb, dAtVa, nlr, lay.VaOff)
+	appendBranchReal(jb, dAtVm, nlr, lay.VmOff)
+	return h, jb.ToCSC()
+}
+
+func (o *OPF) flowViolations(sf, st []complex128) la.Vector {
+	nlr := o.Lay.NLRated
+	h := make(la.Vector, 2*nlr)
+	for l := 0; l < nlr; l++ {
+		pf, qf := real(sf[l]), imag(sf[l])
+		pt, qt := real(st[l]), imag(st[l])
+		h[l] = pf*pf + qf*qf - o.rates2[l]
+		h[nlr+l] = pt*pt + qt*qt - o.rates2[l]
+	}
+	return h
+}
+
+func appendBranchReal(jb *sparse.Builder, m *grid.BranchMatReal, rowOff, colOff int) {
+	for l := range m.F {
+		jb.Append(rowOff+l, colOff+m.F[l], m.Vf[l])
+		jb.Append(rowOff+l, colOff+m.T[l], m.Vt[l])
+	}
+}
+
+// hessian assembles ∇²f + Σλ∇²g + Σµ∇²h in the packed x layout.
+func (o *OPF) hessian(x la.Vector, lam, mu la.Vector) *sparse.CSC {
+	lay := o.Lay
+	nb := lay.NB
+	base := o.Case.BaseMVA
+	v := o.voltages(x)
+	hb := sparse.NewBuilder(lay.NX, lay.NX)
+
+	// Cost block (diagonal in Pg).
+	for g, gen := range o.gens {
+		if d2 := gen.Cost.Deriv2() * base * base; d2 != 0 {
+			hb.Append(lay.PgOff+g, lay.PgOff+g, d2)
+		}
+	}
+
+	// Power-balance block.
+	lamP := make([]complex128, nb)
+	lamQ := make([]complex128, nb)
+	for i := 0; i < nb; i++ {
+		lamP[i] = complex(lam[i], 0)
+		lamQ[i] = complex(lam[nb+i], 0)
+	}
+	paa, pav, pva, pvv := grid.D2SbusDV2(o.Y.Ybus, v, lamP)
+	qaa, qav, qva, qvv := grid.D2SbusDV2(o.Y.Ybus, v, lamQ)
+	appendRealImagSum(hb, paa, qaa, lay.VaOff, lay.VaOff)
+	appendRealImagSum(hb, pav, qav, lay.VaOff, lay.VmOff)
+	appendRealImagSum(hb, pva, qva, lay.VmOff, lay.VaOff)
+	appendRealImagSum(hb, pvv, qvv, lay.VmOff, lay.VmOff)
+
+	// Branch-flow block.
+	nlr := lay.NLRated
+	if nlr > 0 && len(mu) == 2*nlr {
+		dSfVa, dSfVm, dStVa, dStVm, sf, st := grid.DSbrDV(o.ratedY, v)
+		muF := mu[:nlr]
+		muT := mu[nlr:]
+		faa, fav, fva, fvv := grid.D2ASbrDV2(dSfVa, dSfVm, sf, o.ratedY.Yf, true, v, muF)
+		taa, tav, tva, tvv := grid.D2ASbrDV2(dStVa, dStVm, st, o.ratedY.Yt, false, v, muT)
+		hb.AppendCSC(lay.VaOff, lay.VaOff, 1, faa)
+		hb.AppendCSC(lay.VaOff, lay.VmOff, 1, fav)
+		hb.AppendCSC(lay.VmOff, lay.VaOff, 1, fva)
+		hb.AppendCSC(lay.VmOff, lay.VmOff, 1, fvv)
+		hb.AppendCSC(lay.VaOff, lay.VaOff, 1, taa)
+		hb.AppendCSC(lay.VaOff, lay.VmOff, 1, tav)
+		hb.AppendCSC(lay.VmOff, lay.VaOff, 1, tva)
+		hb.AppendCSC(lay.VmOff, lay.VmOff, 1, tvv)
+	}
+	return hb.ToCSC()
+}
+
+func appendRealImagSum(hb *sparse.Builder, re, im *sparse.CSCComplex, rowOff, colOff int) {
+	for j := 0; j < re.NCols; j++ {
+		for p := re.ColPtr[j]; p < re.ColPtr[j+1]; p++ {
+			hb.Append(rowOff+re.RowIdx[p], colOff+j, real(re.Val[p]))
+		}
+	}
+	for j := 0; j < im.NCols; j++ {
+		for p := im.ColPtr[j]; p < im.ColPtr[j+1]; p++ {
+			hb.Append(rowOff+im.RowIdx[p], colOff+j, imag(im.Val[p]))
+		}
+	}
+}
+
+// Equality exposes g(x) and its Jacobian for external consumers (the
+// physics-informed training losses differentiate through it).
+func (o *OPF) Equality(x la.Vector) (la.Vector, *sparse.CSC) {
+	return o.equality(x, true)
+}
+
+// Inequality exposes the nonlinear h(x) rows (branch flows) and Jacobian.
+func (o *OPF) Inequality(x la.Vector) (la.Vector, *sparse.CSC) {
+	return o.inequality(x, true)
+}
+
+// CostGrad exposes the objective and its gradient.
+func (o *OPF) CostGrad(x la.Vector) (float64, la.Vector) {
+	return o.costGrad(x)
+}
+
+// Bounds returns copies of the variable bounds.
+func (o *OPF) Bounds() (xmin, xmax la.Vector) {
+	return o.xmin.Clone(), o.xmax.Clone()
+}
+
+// FullInequality evaluates the complete inequality set in MIPS order —
+// nonlinear flow rows, then finite upper-bound rows, then finite
+// lower-bound rows — matching the layout of the µ and Z vectors in
+// Result. The Jacobian covers the same rows.
+func (o *OPF) FullInequality(x la.Vector) (la.Vector, *sparse.CSC) {
+	h, jh := o.inequality(x, true)
+	nh := len(h)
+	full := make(la.Vector, o.Lay.NIq)
+	copy(full, h)
+	jb := sparse.NewBuilder(o.Lay.NIq, o.Lay.NX)
+	if jh != nil {
+		jb.AppendCSC(0, 0, 1, jh)
+	}
+	row := nh
+	for i := range o.xmax {
+		if !math.IsInf(o.xmax[i], 1) {
+			full[row] = x[i] - o.xmax[i]
+			jb.Append(row, i, 1)
+			row++
+		}
+	}
+	for i := range o.xmin {
+		if !math.IsInf(o.xmin[i], -1) {
+			full[row] = o.xmin[i] - x[i]
+			jb.Append(row, i, -1)
+			row++
+		}
+	}
+	return full, jb.ToCSC()
+}

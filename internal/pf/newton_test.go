@@ -1,0 +1,128 @@
+package pf
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"repro/internal/grid"
+)
+
+func TestSolveCase9(t *testing.T) {
+	c := grid.Case9()
+	r, err := Solve(c, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Converged {
+		t.Fatal("did not converge")
+	}
+	if r.Iterations > 6 {
+		t.Errorf("Newton took %d iterations, expected quadratic convergence", r.Iterations)
+	}
+	// Known solution features of the WSCC 9-bus base case: slack P around
+	// 71.6 MW and all voltages near 1 pu.
+	slackP := r.Pg[0] * c.BaseMVA
+	if slackP < 60 || slackP > 85 {
+		t.Errorf("slack P = %.2f MW, expected ~71.6", slackP)
+	}
+	for i, vm := range r.Vm {
+		if vm < 0.9 || vm > 1.1 {
+			t.Errorf("bus %d voltage %.4f out of plausible range", i, vm)
+		}
+	}
+	// Angle reference preserved.
+	if math.Abs(r.Va[c.RefIndex()]) > 1e-12 {
+		t.Errorf("reference angle moved: %v", r.Va[c.RefIndex()])
+	}
+}
+
+func TestSolveCase14(t *testing.T) {
+	c := grid.Case14()
+	r, err := Solve(c, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// IEEE 14-bus reference: slack generation ~232.4 MW.
+	slackP := r.Pg[0] * c.BaseMVA
+	if math.Abs(slackP-232.4) > 3 {
+		t.Errorf("slack P = %.2f MW, want about 232.4", slackP)
+	}
+	// Known angle at bus 14 around -16 degrees.
+	a14 := grid.Rad2Deg(r.Va[c.BusIndex(14)])
+	if math.Abs(a14-(-16.0)) > 1.5 {
+		t.Errorf("bus 14 angle = %.2f deg, want about -16", a14)
+	}
+}
+
+func TestSolveCase5(t *testing.T) {
+	c := grid.Case5()
+	r, err := Solve(c, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Converged {
+		t.Fatal("case5 power flow did not converge")
+	}
+}
+
+// The solved state must satisfy the full complex power balance at every
+// bus when the back-filled generator outputs are injected.
+func TestSolutionSatisfiesBalance(t *testing.T) {
+	for _, c := range []*grid.Case{grid.Case9(), grid.Case14(), grid.Case5()} {
+		r, err := Solve(c, Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", c.Name, err)
+		}
+		y := grid.MakeYbus(c)
+		v := grid.Voltage(r.Vm, r.Va)
+		sbus := grid.MakeSbus(c, r.Pg, r.Qg)
+		mis := grid.PowerMismatch(y, v, sbus)
+		for i, m := range mis {
+			if cmplx.Abs(m) > 1e-6 {
+				t.Fatalf("%s: bus %d mismatch %v", c.Name, i, m)
+			}
+		}
+	}
+}
+
+func TestScaledLoadsStillSolve(t *testing.T) {
+	// ±10% uniform load scaling (the paper's sampling law) must stay
+	// solvable on the reference systems.
+	for _, f := range []float64{0.9, 1.1} {
+		c := grid.Case9()
+		fac := make([]float64, c.NB())
+		for i := range fac {
+			fac[i] = f
+		}
+		c.ScaleLoads(fac)
+		if _, err := Solve(c, Options{}); err != nil {
+			t.Fatalf("scale %.1f: %v", f, err)
+		}
+	}
+}
+
+func TestNonConvergenceReported(t *testing.T) {
+	c := grid.Case9()
+	// Absurd load makes the power flow infeasible.
+	fac := make([]float64, c.NB())
+	for i := range fac {
+		fac[i] = 40
+	}
+	c.ScaleLoads(fac)
+	r, err := Solve(c, Options{MaxIter: 15})
+	if err == nil && r.Converged {
+		t.Fatal("expected failure on 40x load")
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.Tol != 1e-8 || o.MaxIter != 30 {
+		t.Fatalf("defaults = %+v", o)
+	}
+	o2 := Options{Tol: 1e-4, MaxIter: 5}.withDefaults()
+	if o2.Tol != 1e-4 || o2.MaxIter != 5 {
+		t.Fatalf("explicit options overridden: %+v", o2)
+	}
+}

@@ -1,0 +1,208 @@
+// Package scopf implements the security-constrained AC-OPF scenario
+// screening that motivates the paper's scaling study (Section VIII-E):
+// grid operators evaluate large trees of uncertain scenarios — load
+// draws combined with N-1 contingencies — each of which is an
+// independent AC-OPF instance. The scenarios are embarrassingly
+// parallel, and each one can be warm-started by the Smart-PGSim model
+// trained on the intact system.
+package scopf
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/dataset"
+	"repro/internal/grid"
+	"repro/internal/la"
+	"repro/internal/mtl"
+	"repro/internal/opf"
+)
+
+// Scenario is one node of the uncertainty tree: a load draw plus an
+// optional branch outage (-1 = no contingency).
+type Scenario struct {
+	Factors   la.Vector // per-bus load multipliers
+	OutBranch int       // index into Case.Branches, or -1
+}
+
+// Outcome is the result of screening one scenario.
+type Outcome struct {
+	Scenario   Scenario
+	Feasible   bool    // the scenario admits a secure dispatch
+	Cost       float64 // $/hr when feasible
+	Iterations int
+	WarmUsed   bool // the model warm start converged (no restart)
+}
+
+// Screener fans scenarios out across workers.
+type Screener struct {
+	Base    *grid.Case
+	Model   *mtl.Model // may be nil: cold-start screening
+	Workers int        // default GOMAXPROCS
+}
+
+// Contingencies enumerates the single-branch outages that leave the
+// network connected (the N-1 set). Bridges — branches whose loss splits
+// the grid — are excluded, matching operational practice of treating
+// them separately.
+func Contingencies(c *grid.Case) []int {
+	var out []int
+	for l, br := range c.Branches {
+		if !br.Status {
+			continue
+		}
+		if connectedWithout(c, l) {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+func connectedWithout(c *grid.Case, skip int) bool {
+	nb := c.NB()
+	adj := make([][]int, nb)
+	for l, br := range c.Branches {
+		if !br.Status || l == skip {
+			continue
+		}
+		f := c.BusIndex(br.From)
+		t := c.BusIndex(br.To)
+		adj[f] = append(adj[f], t)
+		adj[t] = append(adj[t], f)
+	}
+	seen := make([]bool, nb)
+	stack := []int{0}
+	seen[0] = true
+	count := 1
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, w := range adj[v] {
+			if !seen[w] {
+				seen[w] = true
+				count++
+				stack = append(stack, w)
+			}
+		}
+	}
+	return count == nb
+}
+
+// BuildScenarios crosses load draws with contingencies (plus the intact
+// topology) into a scenario list.
+func BuildScenarios(draws []la.Vector, contingencies []int) []Scenario {
+	out := make([]Scenario, 0, len(draws)*(len(contingencies)+1))
+	for _, f := range draws {
+		out = append(out, Scenario{Factors: f, OutBranch: -1})
+		for _, l := range contingencies {
+			out = append(out, Scenario{Factors: f, OutBranch: l})
+		}
+	}
+	return out
+}
+
+// Screen solves every scenario, warm-starting from the model when one is
+// set, and returns outcomes in scenario order.
+func (s *Screener) Screen(scenarios []Scenario) []Outcome {
+	workers := s.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	out := make([]Outcome, len(scenarios))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// One model replica per worker: forward caches are not
+			// concurrency-safe.
+			var m *mtl.Model
+			if s.Model != nil {
+				m = mtl.New(s.Model.Lay, s.Model.Cfg)
+				m.Norm = s.Model.Norm
+				cloneInto(s.Model, m)
+			}
+			for idx := range jobs {
+				out[idx] = s.screenOne(m, scenarios[idx])
+			}
+		}()
+	}
+	for i := range scenarios {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return out
+}
+
+func (s *Screener) screenOne(m *mtl.Model, sc Scenario) Outcome {
+	c := s.Base.Clone()
+	c.ScaleLoads(sc.Factors)
+	if sc.OutBranch >= 0 {
+		c.Branches[sc.OutBranch].Status = false
+	}
+	if err := c.Normalize(); err != nil {
+		return Outcome{Scenario: sc}
+	}
+	o := opf.Prepare(c)
+	res := Outcome{Scenario: sc}
+
+	// Warm start only when the contingency preserves the constraint
+	// layout (an outage of a rated branch changes the µ/Z dimensions).
+	if m != nil && o.Lay.NIq == m.Lay.NIq && o.Lay.NEq == m.Lay.NEq {
+		start := m.Predict(dataset.InputVector(c))
+		if r, err := o.Solve(start, opf.Options{}); err == nil && r.Converged {
+			res.Feasible = true
+			res.Cost = r.Cost
+			res.Iterations = r.Iterations
+			res.WarmUsed = true
+			return res
+		}
+	}
+	if r, err := o.Solve(nil, opf.Options{}); err == nil && r.Converged {
+		res.Feasible = true
+		res.Cost = r.Cost
+		res.Iterations = r.Iterations
+	}
+	return res
+}
+
+// cloneInto copies weights between structurally identical models.
+func cloneInto(src, dst *mtl.Model) {
+	sp := src.Params()
+	dp := dst.Params()
+	for i := range sp {
+		copy(dp[i].Val, sp[i].Val)
+	}
+}
+
+// Summary aggregates screening outcomes.
+type Summary struct {
+	Total, Feasible, WarmConverged int
+	MeanIterations                 float64
+	WorstCost                      float64 // highest secure-dispatch cost
+}
+
+// Summarize reduces outcomes to the operator-facing numbers.
+func Summarize(outs []Outcome) Summary {
+	var s Summary
+	s.Total = len(outs)
+	var iters float64
+	for _, o := range outs {
+		if o.Feasible {
+			s.Feasible++
+			iters += float64(o.Iterations)
+			if o.Cost > s.WorstCost {
+				s.WorstCost = o.Cost
+			}
+		}
+		if o.WarmUsed {
+			s.WarmConverged++
+		}
+	}
+	if s.Feasible > 0 {
+		s.MeanIterations = iters / float64(s.Feasible)
+	}
+	return s
+}

@@ -1,0 +1,130 @@
+package scopf
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/grid"
+	"repro/internal/la"
+	"repro/internal/mtl"
+	"repro/internal/opf"
+)
+
+func loadDraws(nb, n int, seed int64) []la.Vector {
+	r := rand.New(rand.NewSource(seed))
+	out := make([]la.Vector, n)
+	for i := range out {
+		f := make(la.Vector, nb)
+		for k := range f {
+			f[k] = 0.9 + 0.2*r.Float64()
+		}
+		out[i] = f
+	}
+	return out
+}
+
+func TestContingenciesConnected(t *testing.T) {
+	c := grid.Case9()
+	cons := Contingencies(c)
+	if len(cons) == 0 {
+		t.Fatal("the 9-bus ring has no bridges; every outage should be screenable")
+	}
+	// case9 is a 6-branch ring with three radial generator legs: only
+	// the ring branches are non-bridges.
+	if len(cons) != 6 {
+		t.Fatalf("got %d contingencies, want 6", len(cons))
+	}
+	for _, l := range cons {
+		br := c.Branches[l]
+		if br.From == 1 || br.From == 3 || (br.From == 8 && br.To == 2) {
+			t.Fatalf("generator leg %d-%d treated as non-bridge", br.From, br.To)
+		}
+	}
+	// case14 has radial spurs (e.g. 7-8); bridge outages must be excluded.
+	c14 := grid.Case14()
+	for _, l := range Contingencies(c14) {
+		br := c14.Branches[l]
+		if br.From == 7 && br.To == 8 {
+			t.Fatal("bridge 7-8 not excluded")
+		}
+	}
+}
+
+func TestBuildScenarios(t *testing.T) {
+	draws := loadDraws(9, 3, 1)
+	sc := BuildScenarios(draws, []int{0, 4})
+	if len(sc) != 3*3 {
+		t.Fatalf("%d scenarios, want 9", len(sc))
+	}
+	if sc[0].OutBranch != -1 || sc[1].OutBranch != 0 {
+		t.Fatal("scenario ordering wrong")
+	}
+}
+
+func TestScreenColdStart(t *testing.T) {
+	c := grid.Case9()
+	s := &Screener{Base: c, Workers: 4}
+	draws := loadDraws(c.NB(), 2, 2)
+	outs := s.Screen(BuildScenarios(draws, Contingencies(c)[:3]))
+	sum := Summarize(outs)
+	if sum.Total != 8 {
+		t.Fatalf("total %d", sum.Total)
+	}
+	if sum.Feasible < 6 {
+		t.Errorf("only %d/%d scenarios feasible on the lightly-loaded ring", sum.Feasible, sum.Total)
+	}
+	if sum.Feasible > 0 && sum.WorstCost <= 0 {
+		t.Error("worst cost not recorded")
+	}
+}
+
+func TestScreenWarmStart(t *testing.T) {
+	c := grid.Case14() // unrated branches: outages keep the layout
+	o := opf.Prepare(c)
+	set, err := dataset.Generate(c, dataset.DefaultPreparer, dataset.Options{N: 60, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := mtl.Config{Variant: mtl.VariantMTL, Hierarchy: true, DetachPeriod: 4, Seed: 5}
+	m := mtl.New(o.Lay, cfg)
+	if _, err := mtl.Train(m, nil, set, mtl.TrainConfig{Epochs: 150, BatchSize: 12, Seed: 5}); err != nil {
+		t.Fatal(err)
+	}
+
+	draws := loadDraws(c.NB(), 3, 6)
+	cons := Contingencies(c)[:4]
+	scenarios := BuildScenarios(draws, cons)
+
+	warm := &Screener{Base: c, Model: m, Workers: 4}
+	cold := &Screener{Base: c, Workers: 4}
+	wOut := Summarize(warm.Screen(scenarios))
+	cOut := Summarize(cold.Screen(scenarios))
+
+	if wOut.Feasible != cOut.Feasible {
+		t.Fatalf("warm screening changed feasibility: %d vs %d", wOut.Feasible, cOut.Feasible)
+	}
+	if wOut.WarmConverged == 0 {
+		t.Fatal("no scenario accepted the warm start")
+	}
+	// Warm screening must reduce the mean iteration count (the paper's
+	// SC-ACOPF use case for Smart-PGSim).
+	if wOut.MeanIterations >= cOut.MeanIterations {
+		t.Errorf("warm mean iterations %.1f not below cold %.1f",
+			wOut.MeanIterations, cOut.MeanIterations)
+	}
+}
+
+func TestScreenDeterministicOrder(t *testing.T) {
+	c := grid.Case9()
+	s := &Screener{Base: c, Workers: 3}
+	draws := loadDraws(c.NB(), 2, 7)
+	scenarios := BuildScenarios(draws, nil)
+	a := s.Screen(scenarios)
+	b := s.Screen(scenarios)
+	for i := range a {
+		if a[i].Feasible != b[i].Feasible || a[i].Cost != b[i].Cost {
+			t.Fatal("screening not deterministic in scenario order")
+		}
+	}
+}

@@ -1,0 +1,105 @@
+// Package stats provides the summary statistics used by the experiment
+// harness: means, percentiles and the box-plot five-number summaries of
+// Figure 8.
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// GeoMean returns the geometric mean of positive values (0 if any value
+// is non-positive or the input is empty).
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			return 0
+		}
+		s += math.Log(x)
+	}
+	return math.Exp(s / float64(len(xs)))
+}
+
+// Percentile returns the p-th percentile (0 ≤ p ≤ 100) with linear
+// interpolation between order statistics.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if p <= 0 {
+		return s[0]
+	}
+	if p >= 100 {
+		return s[len(s)-1]
+	}
+	pos := p / 100 * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	frac := pos - float64(lo)
+	if lo+1 >= len(s) {
+		return s[lo]
+	}
+	return s[lo]*(1-frac) + s[lo+1]*frac
+}
+
+// Box is a five-number box-plot summary (plus mean), as used in the
+// paper's Figure 8.
+type Box struct {
+	Min, Q1, Median, Q3, Max, Mean float64
+	N                              int
+}
+
+// BoxStats computes the summary of a sample.
+func BoxStats(xs []float64) Box {
+	if len(xs) == 0 {
+		return Box{Min: math.NaN(), Q1: math.NaN(), Median: math.NaN(), Q3: math.NaN(), Max: math.NaN(), Mean: math.NaN()}
+	}
+	return Box{
+		Min:    Percentile(xs, 0),
+		Q1:     Percentile(xs, 25),
+		Median: Percentile(xs, 50),
+		Q3:     Percentile(xs, 75),
+		Max:    Percentile(xs, 100),
+		Mean:   Mean(xs),
+		N:      len(xs),
+	}
+}
+
+// R2 returns the coefficient of determination of pred against truth.
+func R2(pred, truth []float64) float64 {
+	if len(pred) != len(truth) || len(pred) == 0 {
+		return math.NaN()
+	}
+	m := Mean(truth)
+	var ssRes, ssTot float64
+	for i := range pred {
+		d := truth[i] - pred[i]
+		ssRes += d * d
+		t := truth[i] - m
+		ssTot += t * t
+	}
+	if ssTot == 0 {
+		if ssRes == 0 {
+			return 1
+		}
+		return math.NaN()
+	}
+	return 1 - ssRes/ssTot
+}

@@ -1,0 +1,91 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("empty mean")
+	}
+	if Mean([]float64{1, 2, 3}) != 2 {
+		t.Error("mean wrong")
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if g := GeoMean([]float64{1, 4}); math.Abs(g-2) > 1e-12 {
+		t.Errorf("geomean = %v", g)
+	}
+	if GeoMean([]float64{1, -1}) != 0 {
+		t.Error("negative input should yield 0")
+	}
+	if GeoMean(nil) != 0 {
+		t.Error("empty geomean")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{4, 1, 3, 2}
+	if Percentile(xs, 0) != 1 || Percentile(xs, 100) != 4 {
+		t.Error("min/max wrong")
+	}
+	if p := Percentile(xs, 50); math.Abs(p-2.5) > 1e-12 {
+		t.Errorf("median = %v", p)
+	}
+	if !math.IsNaN(Percentile(nil, 50)) {
+		t.Error("empty percentile should be NaN")
+	}
+	// Input must not be mutated.
+	if xs[0] != 4 {
+		t.Error("input mutated")
+	}
+}
+
+func TestBoxStats(t *testing.T) {
+	b := BoxStats([]float64{1, 2, 3, 4, 5})
+	if b.Median != 3 || b.Min != 1 || b.Max != 5 || b.N != 5 {
+		t.Errorf("box = %+v", b)
+	}
+	if b.Q1 != 2 || b.Q3 != 4 {
+		t.Errorf("quartiles = %v %v", b.Q1, b.Q3)
+	}
+}
+
+func TestR2(t *testing.T) {
+	truth := []float64{1, 2, 3}
+	if r := R2(truth, truth); r != 1 {
+		t.Errorf("perfect R2 = %v", r)
+	}
+	pred := []float64{2, 2, 2} // predicting the mean gives R2 = 0
+	if r := R2(pred, truth); math.Abs(r) > 1e-12 {
+		t.Errorf("mean-predictor R2 = %v", r)
+	}
+}
+
+// Percentiles are monotone in p and bounded by min/max.
+func TestPercentileProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(50)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = r.NormFloat64()
+		}
+		prev := math.Inf(-1)
+		for p := 0.0; p <= 100; p += 10 {
+			v := Percentile(xs, p)
+			if v < prev-1e-12 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
