@@ -1,12 +1,15 @@
 // Command pgsim solves the AC optimal power flow of a test system (or a
 // Matpower case file) with the MIPS interior-point solver and prints the
-// dispatch, multiplier summary and timing.
+// dispatch, multiplier summary and timing. With a comma-separated -scale
+// list it sweeps the load levels as a batch on the parallel worker pool
+// and prints one summary row per level.
 //
 // Usage:
 //
 //	pgsim -case case9
 //	pgsim -file mygrid.m -trace
 //	pgsim -case case30 -scale 1.05
+//	pgsim -case case30 -scale 0.9,0.95,1.0,1.05,1.1 -workers 4
 package main
 
 import (
@@ -14,7 +17,11 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strconv"
+	"strings"
+	"time"
 
+	"repro/internal/batch"
 	"repro/internal/casegen"
 	"repro/internal/grid"
 	"repro/internal/opf"
@@ -25,9 +32,11 @@ func main() {
 	log.SetPrefix("pgsim: ")
 	caseName := flag.String("case", "case9", "built-in system (case5, case9, case14, case30, case39, case57, case118, case300)")
 	file := flag.String("file", "", "Matpower case file (overrides -case)")
-	scale := flag.Float64("scale", 1.0, "uniform load scaling factor")
+	scale := flag.String("scale", "1.0", "uniform load scaling factor, or a comma-separated sweep (e.g. 0.9,1.0,1.1)")
 	trace := flag.Bool("trace", false, "print per-iteration convergence trace")
+	workers := flag.Int("workers", 0, "worker pool size for batch stages (0 = PGSIM_WORKERS or all cores)")
 	flag.Parse()
+	batch.SetDefaultWorkers(*workers)
 
 	var (
 		c   *grid.Case
@@ -46,10 +55,18 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	if *scale != 1.0 {
+	scales, err := parseScales(*scale)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(scales) > 1 {
+		sweep(c, scales)
+		return
+	}
+	if s := scales[0]; s != 1.0 {
 		fac := make([]float64, c.NB())
 		for i := range fac {
-			fac[i] = *scale
+			fac[i] = s
 		}
 		c.ScaleLoads(fac)
 	}
@@ -79,5 +96,54 @@ func main() {
 			fmt.Printf("%4d %12.3e %12.3e %12.3e %12.3e %12.3e\n",
 				t.Iter, t.StepSize, t.FeasCond, t.GradCond, t.CompCond, t.CostCond)
 		}
+	}
+}
+
+// parseScales parses the -scale value: one factor or a comma list.
+func parseScales(s string) ([]float64, error) {
+	parts := strings.Split(s, ",")
+	out := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad -scale entry %q: %v", p, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// sweep solves the case at every load level on the worker pool, reusing
+// the prepared OPF structure, and prints one summary row per level.
+func sweep(c *grid.Case, scales []float64) {
+	base := opf.Prepare(c)
+	type row struct {
+		r   *opf.Result
+		err error
+	}
+	rows, _ := batch.Map(len(scales), batch.Options{}, func(t *batch.Task) (row, error) {
+		fac := make([]float64, c.NB())
+		for i := range fac {
+			fac[i] = scales[t.Index]
+		}
+		r, err := base.Perturb(fac).Solve(nil, opf.Options{})
+		return row{r: r, err: err}, nil
+	})
+	fmt.Printf("case %s: load sweep over %d levels\n", c.Name, len(scales))
+	fmt.Printf("%8s %10s %6s %14s %12s\n", "scale", "status", "iters", "cost ($/hr)", "solve")
+	for i, out := range rows {
+		status := "ok"
+		switch {
+		case out.err != nil:
+			status = "error"
+		case !out.r.Converged:
+			status = "diverged"
+		}
+		cost := "-"
+		if out.err == nil && out.r.Converged {
+			cost = fmt.Sprintf("%.2f", out.r.Cost)
+		}
+		fmt.Printf("%8.3f %10s %6d %14s %12v\n",
+			scales[i], status, out.r.Iterations, cost, out.r.SolveTime.Round(time.Microsecond))
 	}
 }

@@ -15,6 +15,7 @@ import (
 	"log"
 	"time"
 
+	"repro/internal/batch"
 	"repro/internal/core"
 	"repro/internal/mtl"
 	"repro/internal/scale"
@@ -26,7 +27,9 @@ func main() {
 	caseName := flag.String("case", "case9", "test system")
 	scenarios := flag.Int("scenarios", 10000, "total scenarios for strong scaling (and per-worker for weak)")
 	n := flag.Int("n", 40, "training samples for the calibration model")
+	poolSize := flag.Int("workers", 0, "parallel workers for generation and calibration (0 = PGSIM_WORKERS or all cores)")
 	flag.Parse()
+	batch.SetDefaultWorkers(*poolSize)
 
 	sys, err := core.LoadSystem(*caseName)
 	if err != nil {

@@ -15,6 +15,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/batch"
 	"repro/internal/core"
 )
 
@@ -24,22 +25,28 @@ func main() {
 	systems := flag.String("systems", "case5,case9,case14", "comma-separated system list")
 	n := flag.Int("n", 30, "problems per system")
 	seed := flag.Int64("seed", 1, "load-sampling seed")
+	workers := flag.Int("workers", 0, "parallel solve workers (0 = PGSIM_WORKERS or all cores)")
 	flag.Parse()
+	batch.SetDefaultWorkers(*workers)
 
 	names := strings.Split(*systems, ",")
+	for i := range names {
+		names[i] = strings.TrimSpace(names[i])
+	}
+	// Resolve every system upfront — the synthetic Table II profiles are
+	// built concurrently on the worker pool.
+	syss, err := core.LoadSystems(names)
+	if err != nil {
+		log.Fatal(err)
+	}
 	results := map[string][]core.SensRow{}
-	for _, name := range names {
-		name = strings.TrimSpace(name)
+	for i, name := range names {
 		t0 := time.Now()
-		sys, err := core.LoadSystem(name)
+		set, err := syss[i].GenerateData(*n, *seed)
 		if err != nil {
 			log.Fatal(err)
 		}
-		set, err := sys.GenerateData(*n, *seed)
-		if err != nil {
-			log.Fatal(err)
-		}
-		results[name] = core.SensitivityStudy(sys, set, 0)
+		results[name] = core.SensitivityStudy(syss[i], set, 0)
 		log.Printf("%s done in %v (%d problems)", name, time.Since(t0).Round(time.Millisecond), len(set.Samples))
 	}
 	core.PrintTableI(os.Stdout, names, results)

@@ -12,6 +12,7 @@ import (
 	"log"
 	"os"
 
+	"repro/internal/batch"
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/mtl"
@@ -26,7 +27,9 @@ func main() {
 	epochs := flag.Int("epochs", 300, "training epochs")
 	seed := flag.Int64("seed", 1, "initialization seed")
 	out := flag.String("out", "", "output model file (default <case>.model)")
+	workers := flag.Int("workers", 0, "parallel evaluation workers (0 = PGSIM_WORKERS or all cores)")
 	flag.Parse()
+	batch.SetDefaultWorkers(*workers)
 	if *data == "" {
 		log.Fatal("-data is required (generate one with cmd/traingen)")
 	}

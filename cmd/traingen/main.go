@@ -13,6 +13,7 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/batch"
 	"repro/internal/core"
 )
 
@@ -23,10 +24,12 @@ func main() {
 	n := flag.Int("n", 500, "number of load samples")
 	seed := flag.Int64("seed", 1, "sampling seed")
 	out := flag.String("out", "", "output file (default <case>.ds)")
+	workers := flag.Int("workers", 0, "parallel solve workers (0 = PGSIM_WORKERS or all cores)")
 	flag.Parse()
 	if *out == "" {
 		*out = *caseName + ".ds"
 	}
+	batch.SetDefaultWorkers(*workers)
 
 	sys, err := core.LoadSystem(*caseName)
 	if err != nil {

@@ -9,7 +9,9 @@
 // assembly (internal/opf), the neural-network framework and multitask
 // model (internal/nn, internal/mtl), dataset generation
 // (internal/dataset), the Smart-PGSim pipeline and experiment drivers
-// (internal/core), and the scaling study (internal/scale).
+// (internal/core), the scaling study (internal/scale), and the parallel
+// batch-execution engine that fans every sweep out across the host's
+// cores (internal/batch).
 //
 // Executables are under cmd/, runnable examples under examples/, and
 // bench_test.go in this directory regenerates every table and figure of

@@ -15,6 +15,7 @@ import (
 	"math"
 	"math/rand"
 
+	"repro/internal/batch"
 	"repro/internal/grid"
 	"repro/internal/pf"
 )
@@ -87,6 +88,17 @@ func MustGenerate(spec Spec) *grid.Case {
 		panic(err)
 	}
 	return c
+}
+
+// Systems resolves a list of paper system names (see Paper) concurrently
+// on the batch worker pool, in input order. Each synthetic case is built
+// from its own fixed seed, so the result is identical to resolving the
+// names sequentially. It backs core.LoadSystems, the fan-out used when
+// an experiment sweeps all evaluation systems.
+func Systems(names []string, workers int) ([]*grid.Case, error) {
+	return batch.Map(len(names), batch.Options{Workers: workers}, func(t *batch.Task) (*grid.Case, error) {
+		return Paper(names[t.Index])
+	})
 }
 
 // Paper returns one of the paper's test systems by name: embedded data

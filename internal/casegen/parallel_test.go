@@ -1,0 +1,46 @@
+package casegen
+
+import (
+	"testing"
+)
+
+// TestSystemsMatchesSequential: the pooled name resolver must return
+// exactly what per-name Paper returns, in input order.
+func TestSystemsMatchesSequential(t *testing.T) {
+	names := []string{"case30", "case9", "case39"}
+	par, err := Systems(names, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, name := range names {
+		seq, err := Paper(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if par[i].Name != seq.Name || len(par[i].Buses) != len(seq.Buses) {
+			t.Fatalf("%s: parallel case differs structurally", name)
+		}
+		for b := range seq.Buses {
+			if seq.Buses[b].Pd != par[i].Buses[b].Pd || seq.Buses[b].Vm != par[i].Buses[b].Vm {
+				t.Fatalf("%s bus %d: parallel differs from sequential", name, b)
+			}
+		}
+	}
+}
+
+// TestSystemsResolvesNames: name resolution preserves order and an
+// unknown name surfaces as an aggregated error.
+func TestSystemsResolvesNames(t *testing.T) {
+	cases, err := Systems([]string{"case9", "case5", "case14"}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []int{9, 5, 14} {
+		if len(cases[i].Buses) != want {
+			t.Fatalf("slot %d: %d buses, want %d", i, len(cases[i].Buses), want)
+		}
+	}
+	if _, err := Systems([]string{"case9", "nope"}, 2); err == nil {
+		t.Fatal("unknown system name not reported")
+	}
+}

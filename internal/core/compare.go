@@ -6,6 +6,7 @@ import (
 	"math"
 	"time"
 
+	"repro/internal/batch"
 	"repro/internal/dataset"
 	"repro/internal/la"
 	"repro/internal/mtl"
@@ -40,21 +41,34 @@ func PredictionAccuracy(sys *System, m *mtl.Model, val *dataset.Set) []FeatureAc
 		{"mu", 0, lay.NIq, "Mu"},
 		{"z", 0, lay.NIq, "Z"},
 	}
+	// Model inference fans out over the pool; the per-feature streams are
+	// then accumulated in sample order, keeping them scheduling-independent.
+	type normPair struct{ pred, truth [4]la.Vector }
+	pool := newModelPool(m, batch.Workers(0), len(val.Samples))
+	pairs, _ := batch.Map(len(val.Samples), batch.Options{}, func(t *batch.Task) (normPair, error) {
+		s := &val.Samples[t.Index]
+		mm := pool.get()
+		st := mm.Predict(s.Input)
+		pool.put(mm)
+		return normPair{
+			pred: [4]la.Vector{
+				m.Norm.X.NormalizeVec(st.X),
+				m.Norm.Lam.NormalizeVec(st.Lam),
+				m.Norm.Mu.NormalizeVec(st.Mu),
+				m.Norm.Z.NormalizeVec(st.Z),
+			},
+			truth: [4]la.Vector{
+				m.Norm.X.NormalizeVec(s.X),
+				m.Norm.Lam.NormalizeVec(s.Lam),
+				m.Norm.Mu.NormalizeVec(s.Mu),
+				m.Norm.Z.NormalizeVec(s.Z),
+			},
+		}, nil
+	})
+
 	var preds, truths [7][]float64
-	for _, s := range val.Samples {
-		st := m.Predict(s.Input)
-		normPred := [4]la.Vector{
-			m.Norm.X.NormalizeVec(st.X),
-			m.Norm.Lam.NormalizeVec(st.Lam),
-			m.Norm.Mu.NormalizeVec(st.Mu),
-			m.Norm.Z.NormalizeVec(st.Z),
-		}
-		normTruth := [4]la.Vector{
-			m.Norm.X.NormalizeVec(s.X),
-			m.Norm.Lam.NormalizeVec(s.Lam),
-			m.Norm.Mu.NormalizeVec(s.Mu),
-			m.Norm.Z.NormalizeVec(s.Z),
-		}
+	for _, pair := range pairs {
+		normPred, normTruth := pair.pred, pair.truth
 		for gi, g := range groups {
 			var pv, tv la.Vector
 			switch g.group {
@@ -139,10 +153,14 @@ func CompareModels(sys *System, train, val *dataset.Set, epochs int, seed int64,
 // (entries with |gt| below a floor are skipped, matching the paper's
 // use of relative error).
 func relativeErrorBox(m *mtl.Model, val *dataset.Set) stats.Box {
-	var res []float64
 	const floor = 1e-3
-	for _, s := range val.Samples {
-		st := m.Predict(s.Input)
+	pool := newModelPool(m, batch.Workers(0), len(val.Samples))
+	perSample, _ := batch.Map(len(val.Samples), batch.Options{}, func(t *batch.Task) ([]float64, error) {
+		s := &val.Samples[t.Index]
+		mm := pool.get()
+		st := mm.Predict(s.Input)
+		pool.put(mm)
+		var res []float64
 		for i := range st.X {
 			gt := s.X[i]
 			if math.Abs(gt) < floor {
@@ -150,6 +168,11 @@ func relativeErrorBox(m *mtl.Model, val *dataset.Set) stats.Box {
 			}
 			res = append(res, math.Abs(st.X[i]-gt)/math.Abs(gt))
 		}
+		return res, nil
+	})
+	var res []float64
+	for _, r := range perSample {
+		res = append(res, r...)
 	}
 	return stats.BoxStats(res)
 }
@@ -188,6 +211,10 @@ func ReplacementStudy(sys *System, m *mtl.Model, val *dataset.Set, maxProblems i
 	if maxProblems > 0 && n > maxProblems {
 		n = maxProblems
 	}
+	// SF is defined by the per-inference wall time, so this sweep stays
+	// sequential on purpose: timing Predict while sibling workers
+	// saturate the cores would fold scheduler contention into a paper
+	// metric. The whole loop is inference-only and cheap.
 	var sfs, lcosts []float64
 	for i := 0; i < n; i++ {
 		s := &val.Samples[i]

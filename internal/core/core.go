@@ -1,1 +1,17 @@
+// Package core is the Smart-PGSim framework: the offline phase (dataset
+// generation, sensitivity study, multitask-model training with physics
+// constraints) and the online phase (MTL warm-start prediction feeding
+// the MIPS interior-point solver, with cold restart as the 100 %-success
+// fallback). It also hosts the experiment drivers that regenerate every
+// table and figure of the paper — see DESIGN.md for the index.
+//
+// The heavy sweeps (Evaluate, SensitivityStudy, PredictionAccuracy,
+// ConvergenceStudy) fan their per-problem solves out across the
+// internal/batch worker pool. Each perturbed problem instance is derived
+// from the system's prepared OPF via Rebind, sharing the assembled Ybus
+// and constraint structure across all load perturbations, and model
+// inference runs on per-worker replicas (model forward passes cache
+// activations, so a replica may serve only one in-flight prediction).
+// All aggregates except wall-clock timings are bit-identical to a
+// sequential run under a fixed seed.
 package core

@@ -5,6 +5,7 @@ import (
 	"io"
 	"time"
 
+	"repro/internal/batch"
 	"repro/internal/dataset"
 	"repro/internal/mtl"
 	"repro/internal/opf"
@@ -46,31 +47,59 @@ type EvalResult struct {
 // Evaluate runs the paper's main comparison (Fig 4a-c, Fig 5) for one
 // system: each validation sample is solved cold (MIPS) and through the
 // Smart-PGSim online pipeline (predict → warm solve → restart fallback).
+// Samples are fanned out across the batch worker pool; per-sample
+// outcomes are aggregated in sample order, so every non-timing field is
+// identical to a sequential run.
 func Evaluate(sys *System, m *mtl.Model, val *dataset.Set, maxProblems int) EvalResult {
+	return evaluate(sys, m, val, maxProblems, 0)
+}
+
+// evalOutcome is one sample's contribution to the aggregate.
+type evalOutcome struct {
+	skipped bool // cold baseline failed (should not happen)
+	cold    *opf.Result
+	warm    *WarmOutcome
+}
+
+func evaluate(sys *System, m *mtl.Model, val *dataset.Set, maxProblems, workers int) EvalResult {
 	n := len(val.Samples)
 	if maxProblems > 0 && n > maxProblems {
 		n = maxProblems
 	}
 	res := EvalResult{System: sys.Name, NProblems: n}
-	var iterM, iterS float64
-	var nOK int
-	var costDeltas []float64
-	for i := 0; i < n; i++ {
-		s := &val.Samples[i]
+	if n == 0 {
+		return res
+	}
+
+	pool := newModelPool(m, batch.Workers(workers), n)
+	outcomes, _ := batch.Map(n, batch.Options{Workers: workers}, func(t *batch.Task) (evalOutcome, error) {
+		s := &val.Samples[t.Index]
 		// Cold MIPS baseline (measured fresh — the dataset's stored time
 		// may come from a different machine/load state).
 		o := sys.instanceOPF(s.Factors)
 		rc, err := o.Solve(nil, opf.Options{})
 		if err != nil || !rc.Converged {
+			return evalOutcome{skipped: true}, nil
+		}
+		mm := pool.get()
+		w := sys.SolveWarm(mm, s.Factors, s.Input)
+		pool.put(mm)
+		return evalOutcome{cold: rc, warm: w}, nil
+	})
+
+	var iterM, iterS float64
+	var nOK int
+	var costDeltas []float64
+	for _, out := range outcomes {
+		if out.skipped {
 			continue
 		}
+		rc, w := out.cold, out.warm
 		res.TimeMIPS += rc.PrepTime + rc.SolveTime
 		res.BreakMIPS.Pre += rc.PrepTime
 		res.BreakMIPS.Newton += rc.SolveTime
 		iterM += float64(rc.Iterations)
 
-		// Smart-PGSim pipeline.
-		w := sys.SolveWarm(m, s.Factors, s.Input)
 		res.TimeSmart += w.PrepTime + w.InferTime + w.WarmTime + w.RestartTime
 		res.BreakSmart.Pre += w.PrepTime
 		res.BreakSmart.MTL += w.InferTime
@@ -83,9 +112,6 @@ func Evaluate(sys *System, m *mtl.Model, val *dataset.Set, maxProblems int) Eval
 		if w.Cost > 0 && rc.Cost > 0 {
 			costDeltas = append(costDeltas, abs(1-w.Cost/rc.Cost))
 		}
-	}
-	if n == 0 {
-		return res
 	}
 	res.IterMIPS = iterM / float64(n)
 	res.IterSmart = iterS / float64(n)

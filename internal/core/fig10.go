@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 
+	"repro/internal/batch"
 	"repro/internal/dataset"
 	"repro/internal/mips"
 	"repro/internal/opf"
@@ -21,21 +22,23 @@ type ConvergenceCase struct {
 // solver trace from a good initial solution (the exact warm start) and
 // from a bad one (precise slacks Z with default multipliers µ — the
 // inconsistent pairing Table I identifies as the divergence trigger).
+// The three solves are independent and run concurrently on the batch
+// pool; the returned order is fixed.
 func ConvergenceStudy(sys *System, s *dataset.Sample) []ConvergenceCase {
 	opts := opf.Options{RecordTrace: true, MaxIter: 60}
-	out := make([]ConvergenceCase, 0, 3)
-
-	o := sys.instanceOPF(s.Factors)
-	rGood, _ := o.Solve(&opf.Start{X: s.X, Lam: s.Lam, Mu: s.Mu, Z: s.Z}, opts)
-	out = append(out, ConvergenceCase{Label: "good init (exact warm start)", Converged: rGood.Converged, Trace: rGood.Trace})
-
-	o = sys.instanceOPF(s.Factors)
-	rBad, _ := o.Solve(&opf.Start{X: s.X, Z: s.Z}, opts)
-	out = append(out, ConvergenceCase{Label: "bad init (precise Z, default mu)", Converged: rBad.Converged, Trace: rBad.Trace})
-
-	o = sys.instanceOPF(s.Factors)
-	rCold, _ := o.Solve(nil, opts)
-	out = append(out, ConvergenceCase{Label: "default init (cold start)", Converged: rCold.Converged, Trace: rCold.Trace})
+	starts := []struct {
+		label string
+		start *opf.Start
+	}{
+		{"good init (exact warm start)", &opf.Start{X: s.X, Lam: s.Lam, Mu: s.Mu, Z: s.Z}},
+		{"bad init (precise Z, default mu)", &opf.Start{X: s.X, Z: s.Z}},
+		{"default init (cold start)", nil},
+	}
+	out, _ := batch.Map(len(starts), batch.Options{}, func(t *batch.Task) (ConvergenceCase, error) {
+		o := sys.instanceOPF(s.Factors)
+		r, _ := o.Solve(starts[t.Index].start, opts)
+		return ConvergenceCase{Label: starts[t.Index].label, Converged: r.Converged, Trace: r.Trace}, nil
+	})
 	return out
 }
 

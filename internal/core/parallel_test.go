@@ -1,0 +1,57 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/mtl"
+)
+
+// TestEvaluateParallelEquivalence: the pooled evaluation sweep must
+// report the same deterministic aggregates (problem count, success rate,
+// iteration means, cost delta) as the sequential reference path —
+// timing-derived fields excluded.
+func TestEvaluateParallelEquivalence(t *testing.T) {
+	sys := loadCase9(t)
+	set, err := sys.GenerateData(30, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, val := set.Split(0.8)
+	m, err := sys.TrainModel(mtl.VariantSmartPGSim, train, 80, 5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := evaluate(sys, m, val, 0, 1)
+	par := evaluate(sys, m, val, 0, 4)
+	if seq.NProblems != par.NProblems {
+		t.Fatalf("NProblems: seq %d, par %d", seq.NProblems, par.NProblems)
+	}
+	if seq.SR != par.SR {
+		t.Fatalf("SR: seq %v, par %v", seq.SR, par.SR)
+	}
+	if seq.IterMIPS != par.IterMIPS || seq.IterSmart != par.IterSmart {
+		t.Fatalf("iterations: seq %v/%v, par %v/%v",
+			seq.IterMIPS, seq.IterSmart, par.IterMIPS, par.IterSmart)
+	}
+	if seq.CostDelta != par.CostDelta {
+		t.Fatalf("CostDelta: seq %v, par %v", seq.CostDelta, par.CostDelta)
+	}
+}
+
+// TestSensitivityStudyDeterministic: the flattened (combo × problem)
+// grid must give a stable SR column run over run (scheduling must not
+// leak into results).
+func TestSensitivityStudyDeterministic(t *testing.T) {
+	sys := loadCase9(t)
+	set, err := sys.GenerateData(6, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := SensitivityStudy(sys, set, 4)
+	b := SensitivityStudy(sys, set, 4)
+	for i := range a {
+		if a[i].SR != b[i].SR {
+			t.Fatalf("combo %s: SR %v vs %v across runs", a[i].Combo.Label(), a[i].SR, b[i].SR)
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"io"
 	"time"
 
+	"repro/internal/batch"
 	"repro/internal/dataset"
 	"repro/internal/opf"
 	"repro/internal/stats"
@@ -57,7 +58,10 @@ type SensRow struct {
 // SensitivityStudy reproduces one system column of Table I: for every
 // combination of precise/imprecise initialization components, solve each
 // sampled problem and record success rate and speedup. The dataset
-// provides both the problems and their ground-truth solver states.
+// provides both the problems and their ground-truth solver states. The
+// 16×n solve grid is flattened onto the batch worker pool; rows are
+// aggregated in (combo, problem) order, so the SR column is identical to
+// a sequential run (SU is time-based and inherently noisy).
 func SensitivityStudy(sys *System, set *dataset.Set, maxProblems int) []SensRow {
 	n := len(set.Samples)
 	if maxProblems > 0 && n > maxProblems {
@@ -65,53 +69,69 @@ func SensitivityStudy(sys *System, set *dataset.Set, maxProblems int) []SensRow 
 	}
 	combos := AllCombos()
 	rows := make([]SensRow, len(combos))
+	if n == 0 {
+		return rows
+	}
 
 	// Baseline (all imprecise) times per problem.
-	baseTime := make([]time.Duration, n)
-	for i := 0; i < n; i++ {
-		o := sys.instanceOPF(set.Samples[i].Factors)
+	baseTime, _ := batch.Map(n, batch.Options{}, func(t *batch.Task) (time.Duration, error) {
+		o := sys.instanceOPF(set.Samples[t.Index].Factors)
 		r, err := o.Solve(nil, opf.Options{})
 		if err != nil || !r.Converged {
 			// The dataset only contains solvable instances, so this
 			// should not happen; guard regardless.
-			baseTime[i] = -1
-			continue
+			return -1, nil
 		}
-		baseTime[i] = r.SolveTime
+		return r.SolveTime, nil
+	})
+
+	// One task per (combo, problem) cell.
+	type cell struct {
+		ok bool
+		su float64
 	}
+	cells, _ := batch.Map(len(combos)*n, batch.Options{}, func(t *batch.Task) (cell, error) {
+		combo := combos[t.Index/n]
+		i := t.Index % n
+		if baseTime[i] < 0 {
+			return cell{}, nil
+		}
+		s := &set.Samples[i]
+		o := sys.instanceOPF(s.Factors)
+		start := &opf.Start{}
+		if combo.X {
+			start.X = s.X
+		}
+		if combo.Lam {
+			start.Lam = s.Lam
+		}
+		if combo.Mu {
+			start.Mu = s.Mu
+		}
+		if combo.Z {
+			start.Z = s.Z
+		}
+		var r *opf.Result
+		var err error
+		if !combo.X && !combo.Lam && !combo.Mu && !combo.Z {
+			r, err = o.Solve(nil, opf.Options{})
+		} else {
+			r, err = o.Solve(start, opf.Options{})
+		}
+		if err != nil || !r.Converged {
+			return cell{}, nil
+		}
+		return cell{ok: true, su: float64(baseTime[i]) / float64(r.SolveTime)}, nil
+	})
 
 	for ci, combo := range combos {
 		var okCount int
 		var sus []float64
 		for i := 0; i < n; i++ {
-			if baseTime[i] < 0 {
-				continue
-			}
-			s := &set.Samples[i]
-			o := sys.instanceOPF(s.Factors)
-			start := &opf.Start{}
-			if combo.X {
-				start.X = s.X
-			}
-			if combo.Lam {
-				start.Lam = s.Lam
-			}
-			if combo.Mu {
-				start.Mu = s.Mu
-			}
-			if combo.Z {
-				start.Z = s.Z
-			}
-			var r *opf.Result
-			var err error
-			if !combo.X && !combo.Lam && !combo.Mu && !combo.Z {
-				r, err = o.Solve(nil, opf.Options{})
-			} else {
-				r, err = o.Solve(start, opf.Options{})
-			}
-			if err == nil && r.Converged {
+			c := cells[ci*n+i]
+			if c.ok {
 				okCount++
-				sus = append(sus, float64(baseTime[i])/float64(r.SolveTime))
+				sus = append(sus, c.su)
 			}
 		}
 		row := SensRow{Combo: combo, SR: float64(okCount) / float64(n)}

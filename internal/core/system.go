@@ -1,9 +1,3 @@
-// Package core is the Smart-PGSim framework: the offline phase (dataset
-// generation, sensitivity study, multitask-model training with physics
-// constraints) and the online phase (MTL warm-start prediction feeding
-// the MIPS interior-point solver, with cold restart as the 100 %-success
-// fallback). It also hosts the experiment drivers that regenerate every
-// table and figure of the paper — see DESIGN.md for the index.
 package core
 
 import (
@@ -34,6 +28,21 @@ func LoadSystem(name string) (*System, error) {
 	return &System{Name: name, Case: c, OPF: opf.Prepare(c)}, nil
 }
 
+// LoadSystems resolves several test systems concurrently on the batch
+// worker pool (synthesizing the Table II profiles is the expensive
+// part), in input order.
+func LoadSystems(names []string) ([]*System, error) {
+	cases, err := casegen.Systems(names, 0)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*System, len(cases))
+	for i, c := range cases {
+		out[i] = &System{Name: names[i], Case: c, OPF: opf.Prepare(c)}
+	}
+	return out, nil
+}
+
 // MustLoadSystem panics on failure (the paper systems are known-good).
 func MustLoadSystem(name string) *System {
 	s, err := LoadSystem(name)
@@ -49,12 +58,41 @@ func (s *System) GenerateData(n int, seed int64) (*dataset.Set, error) {
 	return dataset.Generate(s.Case, dataset.DefaultPreparer, dataset.Options{N: n, Seed: seed})
 }
 
-// instanceOPF prepares the OPF of one load sample.
+// instanceOPF derives the OPF of one load sample from the system's
+// prepared instance — the Ybus and constraint structure are
+// load-invariant, so they are shared, not rebuilt, across every
+// perturbation of the base grid. The instance's PrepTime reports the
+// derivation cost (clone+scale+rebind), which is the real per-problem
+// construction work under structure sharing; see DESIGN.md §3.
 func (s *System) instanceOPF(factors []float64) *opf.OPF {
-	cc := s.Case.Clone()
-	cc.ScaleLoads(factors)
-	return opf.Prepare(cc)
+	return s.OPF.Perturb(factors)
 }
+
+// modelPool hands out model replicas to concurrent workers: Predict
+// caches activations on the model, so each in-flight inference needs its
+// own clone. Replicas are interchangeable (identical weights), which
+// keeps pooled results bit-identical to sequential ones. The pool is
+// sized min(workers, tasks) — never more clones than can be in flight.
+type modelPool struct{ ch chan *mtl.Model }
+
+func newModelPool(m *mtl.Model, workers, tasks int) *modelPool {
+	n := workers
+	if tasks < n {
+		n = tasks
+	}
+	if n < 1 {
+		n = 1
+	}
+	p := &modelPool{ch: make(chan *mtl.Model, n)}
+	p.ch <- m // the original counts as one replica
+	for i := 1; i < n; i++ {
+		p.ch <- m.Clone()
+	}
+	return p
+}
+
+func (p *modelPool) get() *mtl.Model  { return <-p.ch }
+func (p *modelPool) put(m *mtl.Model) { p.ch <- m }
 
 // TrainModel runs the offline training phase for a variant on the given
 // training set.

@@ -9,10 +9,9 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
-	"runtime"
-	"sync"
 	"time"
 
+	"repro/internal/batch"
 	"repro/internal/grid"
 	"repro/internal/la"
 	"repro/internal/opf"
@@ -46,12 +45,19 @@ type Options struct {
 	N         int     // number of samples (default 100)
 	Variation float64 // load variation t (default 0.10)
 	Seed      int64
-	Workers   int // default GOMAXPROCS
+	// Workers sizes the solve pool; 0 resolves through the batch
+	// engine's chain (PGSIM_WORKERS, -workers, GOMAXPROCS). The sample
+	// set is bit-identical for every worker count.
+	Workers int
+	// OnProgress, when non-nil, is reported one call per completed solve.
+	OnProgress func(done, total int)
 }
 
 // Generate draws Options.N load scenarios around the case's base load and
 // solves each to optimality with the cold-start interior-point method,
-// fanning the solves out across a worker pool.
+// fanning the solves out across the batch worker pool. The OPF structure
+// (Ybus, rated-branch subset, bounds) is prepared once on the base case
+// and rebound per perturbation, since load scaling leaves it unchanged.
 func Generate(c *grid.Case, o opfPreparer, opt Options) (*Set, error) {
 	if opt.N == 0 {
 		opt.N = 100
@@ -59,10 +65,9 @@ func Generate(c *grid.Case, o opfPreparer, opt Options) (*Set, error) {
 	if opt.Variation == 0 {
 		opt.Variation = 0.10
 	}
-	if opt.Workers == 0 {
-		opt.Workers = runtime.GOMAXPROCS(0)
-	}
 	nb := c.NB()
+	// Factors are drawn sequentially from one stream so the scenario set
+	// is a pure function of (Seed, N, Variation), independent of workers.
 	rng := rand.New(rand.NewSource(opt.Seed))
 	factors := make([]la.Vector, opt.N)
 	for s := range factors {
@@ -73,64 +78,37 @@ func Generate(c *grid.Case, o opfPreparer, opt Options) (*Set, error) {
 		factors[s] = f
 	}
 
-	type outcome struct {
-		idx    int
-		sample Sample
-		ok     bool
-	}
-	jobs := make(chan int)
-	results := make(chan outcome)
-	var wg sync.WaitGroup
-	for w := 0; w < opt.Workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for idx := range jobs {
-				cc := c.Clone()
-				cc.ScaleLoads(factors[idx])
-				sv := o(cc)
-				r, err := sv.Solve(nil, opf.Options{})
-				out := outcome{idx: idx}
-				if err == nil && r.Converged {
-					out.ok = true
-					out.sample = Sample{
-						Factors:    factors[idx],
-						Input:      InputVector(cc),
-						X:          r.X,
-						Lam:        r.Lam,
-						Mu:         r.Mu,
-						Z:          r.Z,
-						Cost:       r.Cost,
-						Iterations: r.Iterations,
-						SolveTime:  r.SolveTime,
-					}
-				}
-				results <- out
-			}
-		}()
-	}
-	go func() {
-		for i := 0; i < opt.N; i++ {
-			jobs <- i
+	base := o(c)
+	ordered, err := batch.Map(opt.N, batch.Options{
+		Workers: opt.Workers, Seed: opt.Seed, OnProgress: opt.OnProgress,
+	}, func(t *batch.Task) (*Sample, error) {
+		inst := base.Perturb(factors[t.Index])
+		r, err := inst.Solve(nil, opf.Options{})
+		if err != nil || !r.Converged {
+			return nil, nil // failed draws are counted, not fatal
 		}
-		close(jobs)
-		wg.Wait()
-		close(results)
-	}()
+		return &Sample{
+			Factors:    factors[t.Index],
+			Input:      InputVector(inst.Case),
+			X:          r.X,
+			Lam:        r.Lam,
+			Mu:         r.Mu,
+			Z:          r.Z,
+			Cost:       r.Cost,
+			Iterations: r.Iterations,
+			SolveTime:  r.SolveTime,
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
 
 	set := &Set{CaseName: c.Name, NB: nb, Samples: make([]Sample, 0, opt.N)}
-	ordered := make([]*Sample, opt.N)
-	for out := range results {
-		if out.ok {
-			s := out.sample
-			ordered[out.idx] = &s
-		} else {
-			set.Failed++
-		}
-	}
 	for _, s := range ordered {
 		if s != nil {
 			set.Samples = append(set.Samples, *s)
+		} else {
+			set.Failed++
 		}
 	}
 	if len(set.Samples) == 0 {
@@ -139,9 +117,10 @@ func Generate(c *grid.Case, o opfPreparer, opt Options) (*Set, error) {
 	return set, nil
 }
 
-// opfPreparer abstracts opf.Prepare for the worker pool (one prepared
-// instance per scaled clone — Ybus does not change with loads, but Sbus
-// construction reads the case, so each worker prepares its own).
+// opfPreparer abstracts opf.Prepare. It is invoked once on the base case;
+// per-perturbation instances are derived with (*opf.OPF).Rebind, which
+// shares the assembled Ybus and constraint structure across all load
+// draws instead of rebuilding them per sample.
 type opfPreparer func(*grid.Case) *opf.OPF
 
 // DefaultPreparer simply calls opf.Prepare.

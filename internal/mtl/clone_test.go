@@ -1,0 +1,62 @@
+package mtl
+
+import (
+	"testing"
+
+	"repro/internal/la"
+	"repro/internal/opf"
+)
+
+// identityRange builds a span-1 Range so normalization is the identity.
+func identityRange(n int) Range {
+	r := Range{Min: make(la.Vector, n), Max: make(la.Vector, n)}
+	for i := range r.Max {
+		r.Max[i] = 1
+	}
+	return r
+}
+
+// TestClonePredictsIdentically: a clone must reproduce the original's
+// predictions exactly (the parallel sweeps rely on replicas being
+// interchangeable) while staying independent of the original's weights.
+func TestClonePredictsIdentically(t *testing.T) {
+	lay := opf.Layout{
+		NB: 3, NG: 2, NX: 10, NEq: 7, NIq: 8,
+		VaOff: 0, VmOff: 3, PgOff: 6, QgOff: 8,
+	}
+	m := New(lay, Config{Variant: VariantSmartPGSim, Hierarchy: true, Seed: 17})
+	m.Norm = Normalizer{
+		In:  identityRange(2 * lay.NB),
+		X:   identityRange(lay.NX),
+		Lam: identityRange(lay.NEq),
+		Mu:  identityRange(lay.NIq),
+		Z:   identityRange(lay.NIq),
+	}
+	in := la.Vector{0.1, 0.2, 0.3, 0.4, 0.5, 0.6}
+	want := m.Predict(in)
+
+	c := m.Clone()
+	got := c.Predict(in)
+	for _, pair := range []struct{ a, b la.Vector }{
+		{want.X, got.X}, {want.Lam, got.Lam}, {want.Mu, got.Mu}, {want.Z, got.Z},
+	} {
+		if len(pair.a) != len(pair.b) {
+			t.Fatalf("length mismatch: %d vs %d", len(pair.a), len(pair.b))
+		}
+		for i := range pair.a {
+			if pair.a[i] != pair.b[i] {
+				t.Fatalf("clone prediction differs at %d: %v vs %v", i, pair.a[i], pair.b[i])
+			}
+		}
+	}
+
+	// Weight independence: perturbing the clone must not change the
+	// original's prediction.
+	c.Params()[0].Val[0] += 100
+	after := m.Predict(in)
+	for i := range want.X {
+		if want.X[i] != after.X[i] {
+			t.Fatal("mutating clone weights leaked into the original")
+		}
+	}
+}

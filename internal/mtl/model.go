@@ -352,6 +352,24 @@ func (m *Model) Params() []*nn.Param {
 	return ps
 }
 
+// Clone returns an independent replica with the same configuration,
+// weights and normalization state. Forward passes cache activations on
+// the model, so concurrent inference (the evaluation sweeps and the
+// scaling study) gives each worker its own replica via Clone.
+func (m *Model) Clone() *Model {
+	c := New(m.Lay, m.Cfg)
+	c.Norm = m.Norm
+	src := m.Params()
+	dst := c.Params()
+	if len(src) != len(dst) {
+		panic("mtl: Clone parameter count mismatch")
+	}
+	for i := range src {
+		copy(dst[i].Val, src[i].Val)
+	}
+	return c
+}
+
 // Predict denormalizes one input's prediction into a warm-start point.
 // Mu and Z are floored at a small positive value (interior-point
 // requirement); with min-max ranges fitted on nonnegative data the

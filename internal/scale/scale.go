@@ -13,10 +13,9 @@ package scale
 
 import (
 	"math"
-	"runtime"
-	"sync"
 	"time"
 
+	"repro/internal/batch"
 	"repro/internal/la"
 	"repro/internal/mtl"
 	"repro/internal/nn"
@@ -133,38 +132,30 @@ func WeakScaling(tInf time.Duration, perWorker int, flopsPerScenario float64, wo
 	return out
 }
 
-// RunParallel performs real data-parallel inference with worker
-// goroutines, each owning a model replica (models must be structurally
-// identical; index 0 is used if fewer replicas than workers are given).
-// It returns the predictions in input order and the wall time.
+// RunParallel performs real data-parallel inference on the batch engine
+// with one task per worker, each owning a model replica (models must be
+// structurally identical; the task index selects the replica, mirroring
+// the paper's one-replica-per-device distribution). It returns the wall
+// time and the scenario count.
 func RunParallel(models []*mtl.Model, inputs *la.Matrix, workers int) (time.Duration, int) {
-	if workers < 1 {
-		workers = runtime.GOMAXPROCS(0)
-	}
+	workers = batch.Workers(workers)
 	if workers > len(models) {
 		workers = len(models)
 	}
 	start := time.Now()
-	var wg sync.WaitGroup
 	count := inputs.Rows
 	chunk := (count + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
+	_ = batch.Run(workers, batch.Options{Workers: workers}, func(t *batch.Task) error {
+		lo := t.Index * chunk
 		hi := lo + chunk
 		if hi > count {
 			hi = count
 		}
-		if lo >= hi {
-			break
+		m := models[t.Index]
+		for r := lo; r < hi; r++ {
+			m.Predict(inputs.Row(r))
 		}
-		wg.Add(1)
-		go func(m *mtl.Model, lo, hi int) {
-			defer wg.Done()
-			for r := lo; r < hi; r++ {
-				m.Predict(inputs.Row(r))
-			}
-		}(models[w], lo, hi)
-	}
-	wg.Wait()
+		return nil
+	})
 	return time.Since(start), count
 }
