@@ -1,7 +1,7 @@
 package smartpgsim_test
 
 // The benchmark harness regenerates every table and figure of the paper
-// (see DESIGN.md §4 for the experiment index). Each benchmark times the
+// (see DESIGN.md §5 for the experiment index). Each benchmark times the
 // experiment's core operation with testing.B and prints the paper-style
 // table once per `go test -bench` run, so the tee'd bench output doubles
 // as the reproduction report. Paper-scale sample counts (10,000 problems,
@@ -289,7 +289,7 @@ func BenchmarkFig10(b *testing.B) {
 }
 
 // BenchmarkAblationHierarchy compares MTL training with and without the
-// physics-dependent head hierarchy (design-choice ablation, DESIGN.md §5).
+// physics-dependent head hierarchy (design-choice ablation, DESIGN.md §6).
 func BenchmarkAblationHierarchy(b *testing.B) {
 	f := getFixture(b)
 	printReport("ablHier", func() {

@@ -36,16 +36,9 @@ func main() {
 	if *out == "" {
 		*out = *caseName + ".model"
 	}
-	var variant mtl.Variant
-	switch *variantName {
-	case "sep":
-		variant = mtl.VariantSeparate
-	case "mtl":
-		variant = mtl.VariantMTL
-	case "smartpgsim":
-		variant = mtl.VariantSmartPGSim
-	default:
-		log.Fatalf("unknown variant %q", *variantName)
+	variant, err := mtl.ParseVariant(*variantName)
+	if err != nil {
+		log.Fatal(err)
 	}
 
 	sys, err := core.LoadSystem(*caseName)

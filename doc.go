@@ -9,13 +9,19 @@
 // assembly (internal/opf), the neural-network framework and multitask
 // model (internal/nn, internal/mtl), dataset generation
 // (internal/dataset), the Smart-PGSim pipeline and experiment drivers
-// (internal/core), the scaling study (internal/scale), and the parallel
+// (internal/core), the scaling study (internal/scale), the parallel
 // batch-execution engine that fans every sweep out across the host's
-// cores (internal/batch).
+// cores (internal/batch), and the warm-start OPF serving subsystem
+// (internal/serve).
 //
-// Executables are under cmd/, runnable examples under examples/, and
-// bench_test.go in this directory regenerates every table and figure of
-// the paper — see DESIGN.md and EXPERIMENTS.md.
+// Executables are under cmd/: pgsim (one-shot AC-OPF solves and load
+// sweeps), traingen and train (the offline phase as artifacts),
+// smartpgsim (the full pipeline and paper figures), sensitivity and
+// scaling (Table I and Figure 9), and pgsimd — the long-running
+// warm-start OPF serving daemon with an HTTP/JSON API (README.md
+// documents the endpoints). Runnable examples live under examples/,
+// and bench_test.go in this directory regenerates every table and
+// figure of the paper — see DESIGN.md and EXPERIMENTS.md.
 package smartpgsim
 
 // Version identifies the reproduction release.

@@ -108,6 +108,7 @@ type TaskError struct {
 	Err   error
 }
 
+// Error formats the error with its task index prefixed.
 func (e *TaskError) Error() string { return fmt.Sprintf("task %d: %v", e.Index, e.Err) }
 
 // Unwrap exposes the underlying error to errors.Is/As.

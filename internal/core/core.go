@@ -14,4 +14,10 @@
 // activations, so a replica may serve only one in-flight prediction).
 // All aggregates except wall-clock timings are bit-identical to a
 // sequential run under a fixed seed.
+//
+// The online phase is also exposed as a long-running service: the
+// internal/serve package (behind cmd/pgsimd) drives System.SolveWarm
+// per HTTP request, with Predictor as the warm-start seam and
+// InstanceInput reproducing the offline pipeline's model inputs bit for
+// bit.
 package core

@@ -2,11 +2,13 @@ package core
 
 import (
 	"fmt"
+	"io"
 	"time"
 
 	"repro/internal/casegen"
 	"repro/internal/dataset"
 	"repro/internal/grid"
+	"repro/internal/la"
 	"repro/internal/mtl"
 	"repro/internal/opf"
 )
@@ -68,6 +70,16 @@ func (s *System) instanceOPF(factors []float64) *opf.OPF {
 	return s.OPF.Perturb(factors)
 }
 
+// InstanceInput computes the model input [Pd; Qd] of the load instance
+// defined by factors — the same clone→scale→pack sequence that
+// dataset.Generate stores as Sample.Input, so a serving-time prediction
+// sees bit-identical inputs to the offline pipeline.
+func (s *System) InstanceInput(factors []float64) la.Vector {
+	cc := s.Case.Clone()
+	cc.ScaleLoads(factors)
+	return dataset.InputVector(cc)
+}
+
 // modelPool hands out model replicas to concurrent workers: Predict
 // caches activations on the model, so each in-flight inference needs its
 // own clone. Replicas are interchangeable (identical weights), which
@@ -94,9 +106,11 @@ func newModelPool(m *mtl.Model, workers, tasks int) *modelPool {
 func (p *modelPool) get() *mtl.Model  { return <-p.ch }
 func (p *modelPool) put(m *mtl.Model) { p.ch <- m }
 
-// TrainModel runs the offline training phase for a variant on the given
-// training set.
-func (s *System) TrainModel(variant mtl.Variant, train *dataset.Set, epochs int, seed int64, logf func(string, ...any)) (*mtl.Model, error) {
+// ModelConfig returns the model configuration the offline phase uses
+// for a variant. TrainModel builds its models with it, and loaders of
+// cmd/train snapshots (LoadModel, cmd/pgsimd) must construct the same
+// configuration for the weights to land in identically shaped tensors.
+func ModelConfig(variant mtl.Variant, seed int64) mtl.Config {
 	cfg := mtl.Config{Variant: variant, Seed: seed}
 	switch variant {
 	case mtl.VariantMTL:
@@ -107,6 +121,24 @@ func (s *System) TrainModel(variant mtl.Variant, train *dataset.Set, epochs int,
 		cfg.DetachPeriod = 4
 		cfg.Physics = mtl.DefaultPhysics()
 	}
+	return cfg
+}
+
+// LoadModel restores a model snapshot written by (*mtl.Model).Save (the
+// cmd/train output format) into a model configured for this system and
+// variant.
+func (s *System) LoadModel(variant mtl.Variant, r io.Reader) (*mtl.Model, error) {
+	m := mtl.New(s.OPF.Lay, ModelConfig(variant, 0))
+	if err := m.Load(r); err != nil {
+		return nil, fmt.Errorf("core: loading %s model for %s: %w", variant, s.Name, err)
+	}
+	return m, nil
+}
+
+// TrainModel runs the offline training phase for a variant on the given
+// training set.
+func (s *System) TrainModel(variant mtl.Variant, train *dataset.Set, epochs int, seed int64, logf func(string, ...any)) (*mtl.Model, error) {
+	cfg := ModelConfig(variant, seed)
 	m := mtl.New(s.OPF.Lay, cfg)
 	var phys *mtl.Physics
 	if cfg.Physics != (mtl.PhysicsWeights{}) {
@@ -125,10 +157,19 @@ func (s *System) TrainModel(variant mtl.Variant, train *dataset.Set, epochs int,
 	return m, nil
 }
 
-// SolveWarm runs the online phase for one instance: predict a warm start,
-// solve, and fall back to a cold restart on failure (guaranteeing
-// convergence as in the paper). It reports the component timings of
-// Figure 5.
+// Predictor produces a warm-start point from a model input [Pd; Qd].
+// *mtl.Model is the production implementation; the serving layer and
+// tests substitute stubs to force specific warm-start behaviour. A
+// Predictor is not required to be safe for concurrent use (model
+// forward passes cache activations), so concurrent callers hand each
+// worker its own instance — see mtl.Model.Clone.
+type Predictor interface {
+	Predict(input la.Vector) *opf.Start
+}
+
+// WarmOutcome reports one online-phase solve: whether the warm-start
+// attempt converged (before any restart), the accepted solution, and
+// the component timings of Figure 5.
 type WarmOutcome struct {
 	Converged   bool // warm-start attempt converged (before restart)
 	Iterations  int  // iterations of the successful solve
@@ -141,8 +182,15 @@ type WarmOutcome struct {
 }
 
 // SolveWarm executes predict→warm-solve→(fallback restart).
-func (s *System) SolveWarm(m *mtl.Model, factors []float64, input []float64) *WarmOutcome {
-	o := s.instanceOPF(factors)
+func (s *System) SolveWarm(m Predictor, factors []float64, input []float64) *WarmOutcome {
+	return s.SolveWarmInstance(m, s.instanceOPF(factors), input)
+}
+
+// SolveWarmInstance is SolveWarm on an already derived load instance.
+// The serving path uses it to derive each request's instance exactly
+// once — the instance's Case provides the model input and the solver's
+// problem — instead of cloning and scaling the base case twice.
+func (s *System) SolveWarmInstance(m Predictor, o *opf.OPF, input []float64) *WarmOutcome {
 	t0 := time.Now()
 	start := m.Predict(input)
 	infer := time.Since(t0)

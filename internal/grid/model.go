@@ -3,6 +3,11 @@
 // built from them, and the first- and second-order derivatives of power
 // injections and branch flows that the AC-OPF solver and the
 // physics-informed training losses both consume.
+//
+// Case.Clone and Case.ScaleLoads are the instance-derivation primitives
+// of the ±10 % load-perturbation workload: every sample of a sweep and
+// every serving-daemon request is a scaled clone of a base case, leaving
+// the admittance structure shared (see opf.Rebind).
 package grid
 
 import (

@@ -26,6 +26,22 @@ const (
 	VariantSmartPGSim
 )
 
+// ParseVariant maps the CLI spelling of a variant ("sep", "mtl",
+// "smartpgsim") to its Variant value — the inverse of the flag values
+// accepted by cmd/train and cmd/pgsimd.
+func ParseVariant(s string) (Variant, error) {
+	switch s {
+	case "sep":
+		return VariantSeparate, nil
+	case "mtl":
+		return VariantMTL, nil
+	case "smartpgsim":
+		return VariantSmartPGSim, nil
+	default:
+		return 0, fmt.Errorf("mtl: unknown variant %q (want sep, mtl or smartpgsim)", s)
+	}
+}
+
 // String names the variant as in the paper's plots.
 func (v Variant) String() string {
 	switch v {

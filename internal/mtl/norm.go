@@ -3,6 +3,13 @@
 // Qg, λ, Z, µ) with the paper's physics-dependent hierarchy (Z is
 // predicted from X̂, µ from Ẑ), the detach-based feature prioritization,
 // and the four physics-informed loss terms f_AC, f_ieq, f_cost and f_Lag.
+//
+// A Model is not safe for concurrent inference (forward passes cache
+// activations on the model); concurrent consumers — the evaluation
+// sweeps and the serving daemon's replica pool — give each worker its
+// own Clone. Clones share weights, so which replica serves a prediction
+// never changes the result. Save/Load round-trip the weights and
+// normalization state; cmd/train writes the snapshots cmd/pgsimd loads.
 package mtl
 
 import (

@@ -9,6 +9,12 @@
 // over x = [Va; Vm; Pg; Qg] and solves it with the MIPS primal–dual
 // interior-point solver. The warm-start path accepts predicted
 // (X, λ, µ, Z) — the Smart-PGSim acceleration interface.
+//
+// A Prepare'd instance is immutable during Solve, and instances derived
+// from it with Rebind or Perturb share its assembled structure without
+// sharing mutable solve state. Both properties are load-bearing for the
+// batch sweeps and the serving daemon, which solve many derived
+// instances of one base grid concurrently.
 package opf
 
 import (

@@ -1,0 +1,144 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+)
+
+// errUnknownSystem distinguishes "no such system" (404) from malformed
+// requests (400).
+var errUnknownSystem = errors.New("unknown system (see GET /v1/systems)")
+
+// SolveRequest is the body of POST /v1/solve. Exactly one of Scale and
+// Factors selects the load instance; omitting both solves the base
+// case (all factors 1.0).
+type SolveRequest struct {
+	// System names a loaded system ("case9", …); required.
+	System string `json:"system"`
+	// Scale applies one uniform load multiplier to every bus.
+	Scale *float64 `json:"scale,omitempty"`
+	// Factors gives a per-bus load multiplier (length = number of buses).
+	Factors []float64 `json:"factors,omitempty"`
+	// Cold forces the cold-start path even when a model is loaded.
+	Cold bool `json:"cold,omitempty"`
+}
+
+// Timing reports the component wall-clock times of one solve in
+// microseconds, mirroring the Figure 5 breakdown (prep = problem
+// derivation, infer = model forward pass, solve = warm or cold
+// interior-point iterations, restart = cold fallback after a failed
+// warm start).
+type Timing struct {
+	PrepUS    int64 `json:"prep_us"`
+	InferUS   int64 `json:"infer_us"`
+	SolveUS   int64 `json:"solve_us"`
+	RestartUS int64 `json:"restart_us"`
+	TotalUS   int64 `json:"total_us"`
+}
+
+// SolveResponse is the body of a successful POST /v1/solve. Solution
+// units match opf.Result: Va in radians, Vm in per unit, Pg in MW, Qg
+// in MVAr (one entry per in-service generator).
+type SolveResponse struct {
+	System string `json:"system"`
+	// Path is the pipeline the accepted solution came from: "warm"
+	// (warm start converged), "warm_restart" (warm start failed, cold
+	// fallback accepted) or "cold" (no model or Cold requested).
+	Path string `json:"path"`
+	// Converged reports the accepted solve; WarmConverged reports the
+	// warm attempt before any restart (the paper's SR numerator).
+	Converged     bool `json:"converged"`
+	WarmConverged bool `json:"warm_converged"`
+	ColdRestarted bool `json:"cold_restarted"`
+
+	Iterations int       `json:"iterations"`
+	Cost       float64   `json:"cost"`
+	Va         []float64 `json:"va"`
+	Vm         []float64 `json:"vm"`
+	Pg         []float64 `json:"pg"`
+	Qg         []float64 `json:"qg"`
+
+	Timing Timing `json:"timing"`
+}
+
+// ErrorResponse is the body of every non-2xx API response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// SystemInfo is one entry of GET /v1/systems.
+type SystemInfo struct {
+	Name       string `json:"name"`
+	Buses      int    `json:"buses"`
+	Generators int    `json:"generators"`
+	Branches   int    `json:"branches"`
+	NLam       int    `json:"nlam"` // equality multipliers (#λ)
+	NMu        int    `json:"nmu"`  // inequality multipliers (#µ)
+	Model      bool   `json:"model"`
+}
+
+// SystemsResponse is the body of GET /v1/systems.
+type SystemsResponse struct {
+	Systems []SystemInfo `json:"systems"`
+}
+
+// HealthResponse is the body of GET /healthz.
+type HealthResponse struct {
+	Status  string  `json:"status"`
+	Systems int     `json:"systems"`
+	UptimeS float64 `json:"uptime_s"`
+}
+
+// validate checks a decoded request against the registered system and
+// resolves the per-bus factor vector. The returned error text is safe
+// to return to the client.
+func (s *Server) validate(req *SolveRequest) (*systemState, []float64, error) {
+	if req.System == "" {
+		return nil, nil, fmt.Errorf("missing required field %q", "system")
+	}
+	st, ok := s.systems[req.System]
+	if !ok {
+		return nil, nil, errUnknownSystem
+	}
+	if req.Scale != nil && req.Factors != nil {
+		return nil, nil, fmt.Errorf("fields %q and %q are mutually exclusive", "scale", "factors")
+	}
+	nb := st.sys.Case.NB()
+	factors := make([]float64, nb)
+	switch {
+	case req.Scale != nil:
+		if !validFactor(*req.Scale) {
+			return nil, nil, fmt.Errorf("scale %v out of range (want a positive finite multiplier ≤ %v)", *req.Scale, maxFactor)
+		}
+		for i := range factors {
+			factors[i] = *req.Scale
+		}
+	case req.Factors != nil:
+		if len(req.Factors) != nb {
+			return nil, nil, fmt.Errorf("factors has %d entries, system %s has %d buses", len(req.Factors), req.System, nb)
+		}
+		for i, f := range req.Factors {
+			if !validFactor(f) {
+				return nil, nil, fmt.Errorf("factors[%d] = %v out of range (want a positive finite multiplier ≤ %v)", i, f, maxFactor)
+			}
+		}
+		copy(factors, req.Factors)
+	default:
+		for i := range factors {
+			factors[i] = 1.0
+		}
+	}
+	return st, factors, nil
+}
+
+// maxFactor bounds a load multiplier: generous enough for any stress
+// sweep, tight enough to reject units mistakes (loads sent in MW).
+const maxFactor = 100.0
+
+func validFactor(f float64) bool {
+	return f > 0 && !math.IsInf(f, 1) && !math.IsNaN(f) && f <= maxFactor
+}
+
+func usec(d time.Duration) int64 { return d.Microseconds() }

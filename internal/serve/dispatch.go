@@ -1,0 +1,143 @@
+package serve
+
+import (
+	"time"
+
+	"repro/internal/batch"
+	"repro/internal/dataset"
+	"repro/internal/opf"
+)
+
+// job is one queued solve request: the target system, the resolved
+// per-bus factors and a buffered channel the handler waits on.
+type job struct {
+	st      *systemState
+	cold    bool
+	factors []float64
+	resp    chan *SolveResponse
+}
+
+// dispatch is the micro-batching loop: it blocks for the first queued
+// request, keeps collecting until the batch window closes or MaxBatch
+// is reached, and fans the batch out across the internal/batch worker
+// pool. One batch runs at a time; requests arriving meanwhile wait in
+// the bounded queue (the handler sheds load past QueueDepth).
+func (s *Server) dispatch() {
+	defer s.wg.Done()
+	for {
+		select {
+		case j := <-s.queue:
+			s.runBatch(s.collect(j))
+		case <-s.done:
+			s.drain()
+			return
+		}
+	}
+}
+
+// collect gathers at most MaxBatch jobs, waiting up to BatchWindow
+// after the first for stragglers to coalesce. A negative window takes
+// only what is already queued, without waiting.
+func (s *Server) collect(first *job) []*job {
+	jobs := []*job{first}
+	if s.cfg.MaxBatch == 1 {
+		return jobs
+	}
+	if s.cfg.BatchWindow < 0 {
+		for len(jobs) < s.cfg.MaxBatch {
+			select {
+			case j := <-s.queue:
+				jobs = append(jobs, j)
+			default:
+				return jobs
+			}
+		}
+		return jobs
+	}
+	timer := time.NewTimer(s.cfg.BatchWindow)
+	defer timer.Stop()
+	for len(jobs) < s.cfg.MaxBatch {
+		select {
+		case j := <-s.queue:
+			jobs = append(jobs, j)
+		case <-timer.C:
+			return jobs
+		}
+	}
+	return jobs
+}
+
+// drain completes whatever is still queued at shutdown, so no handler
+// is left waiting; it must not block on an empty queue.
+func (s *Server) drain() {
+	for {
+		select {
+		case j := <-s.queue:
+			s.runBatch(s.collect(j))
+		default:
+			return
+		}
+	}
+}
+
+// runBatch executes one micro-batch on the worker pool. Requests are
+// independent solves, so neither task order nor the per-task RNG
+// matters — only the pool's panic propagation and bounded parallelism.
+func (s *Server) runBatch(jobs []*job) {
+	s.met.observeBatchSize(len(jobs))
+	_ = batch.Run(len(jobs), batch.Options{Workers: s.cfg.Workers}, func(t *batch.Task) error {
+		j := jobs[t.Index]
+		j.resp <- s.execute(j)
+		return nil
+	})
+}
+
+// execute runs one request through the exact offline code path:
+// core.System.SolveWarm for the warm pipeline (predict → warm solve →
+// cold-restart fallback) or a plain cold (*opf.OPF).Solve. Solutions
+// are therefore bit-identical to cmd/pgsim / cmd/smartpgsim for the
+// same system, factors and model.
+func (s *Server) execute(j *job) *SolveResponse {
+	t0 := time.Now()
+	resp := &SolveResponse{System: j.st.sys.Name}
+	if j.st.pool != nil && !j.cold {
+		p := <-j.st.pool
+		// One derivation serves both the model input and the solver: the
+		// Perturb'd instance's case is the scaled clone InstanceInput
+		// would otherwise rebuild.
+		inst := j.st.sys.OPF.Perturb(j.factors)
+		input := dataset.InputVector(inst.Case)
+		w := j.st.sys.SolveWarmInstance(p, inst, input)
+		j.st.pool <- p
+		r := w.Result
+		resp.Path = "warm"
+		resp.WarmConverged = w.Converged
+		if !w.Converged {
+			resp.Path = "warm_restart"
+			resp.ColdRestarted = true
+		}
+		resp.Converged = r.Converged
+		resp.Iterations = w.Iterations
+		resp.Cost = w.Cost
+		resp.Va, resp.Vm, resp.Pg, resp.Qg = r.Va, r.Vm, r.Pg, r.Qg
+		resp.Timing = Timing{
+			PrepUS:    usec(w.PrepTime),
+			InferUS:   usec(w.InferTime),
+			SolveUS:   usec(w.WarmTime),
+			RestartUS: usec(w.RestartTime),
+		}
+	} else {
+		inst := j.st.sys.OPF.Perturb(j.factors)
+		r, _ := inst.Solve(nil, opf.Options{}) // a solver error reports as Converged=false
+		resp.Path = "cold"
+		resp.Converged = r.Converged
+		resp.Iterations = r.Iterations
+		resp.Cost = r.Cost
+		resp.Va, resp.Vm, resp.Pg, resp.Qg = r.Va, r.Vm, r.Pg, r.Qg
+		resp.Timing = Timing{PrepUS: usec(r.PrepTime), SolveUS: usec(r.SolveTime)}
+	}
+	total := time.Since(t0)
+	resp.Timing.TotalUS = usec(total)
+	s.met.recordSolve(resp, total)
+	return resp
+}

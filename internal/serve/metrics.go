@@ -1,0 +1,194 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// latencyBuckets are the histogram upper bounds for solve latency in
+// seconds (log-spaced around the sub-second solves the test systems
+// take; +Inf is implicit).
+var latencyBuckets = []float64{
+	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// batchBuckets are the histogram upper bounds for micro-batch sizes.
+var batchBuckets = []float64{1, 2, 4, 8, 16, 32, 64}
+
+// histogram is a fixed-bucket Prometheus-style histogram. Callers hold
+// the metrics mutex.
+type histogram struct {
+	bounds []float64
+	counts []int64 // len(bounds)+1; last is +Inf
+	sum    float64
+	total  int64
+}
+
+func newHistogram(bounds []float64) *histogram {
+	return &histogram{bounds: bounds, counts: make([]int64, len(bounds)+1)}
+}
+
+func (h *histogram) observe(v float64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i]++
+	h.sum += v
+	h.total++
+}
+
+// render writes the histogram in Prometheus text format with cumulative
+// bucket counts. labels is the rendered label set without the le pair
+// ("" or `path="warm"` style).
+func (h *histogram) render(w io.Writer, name, labels string) {
+	cum := int64(0)
+	for i, b := range h.bounds {
+		cum += h.counts[i]
+		fmt.Fprintf(w, "%s_bucket{%sle=%q} %d\n", name, labels, formatBound(b), cum)
+	}
+	cum += h.counts[len(h.bounds)]
+	fmt.Fprintf(w, "%s_bucket{%sle=\"+Inf\"} %d\n", name, labels, cum)
+	suffix := ""
+	if l := trimComma(labels); l != "" {
+		suffix = "{" + l + "}"
+	}
+	fmt.Fprintf(w, "%s_sum%s %g\n", name, suffix, h.sum)
+	fmt.Fprintf(w, "%s_count%s %d\n", name, suffix, h.total)
+}
+
+func formatBound(b float64) string { return strconv.FormatFloat(b, 'g', -1, 64) }
+
+// trimComma drops the trailing label separator for sum/count lines.
+func trimComma(labels string) string {
+	if n := len(labels); n > 0 && labels[n-1] == ',' {
+		return labels[:n-1]
+	}
+	return labels
+}
+
+// metrics aggregates the serving counters exposed at /metrics: request
+// and solve counts, the warm-start hit rate (warm_converged_total /
+// warm_attempts_total — the paper's SR, measured on live traffic),
+// iteration totals and the latency/batch-size histograms.
+type metrics struct {
+	mu sync.Mutex
+
+	requests   map[string]int64 // "endpoint|code"
+	solves     map[string]int64 // "system|path"
+	iterations map[string]int64 // "system|path"
+
+	warmAttempts  int64
+	warmConverged int64
+	coldRestarts  int64
+
+	latency map[string]*histogram // per path
+	batches *histogram
+	started time.Time
+}
+
+func newMetrics() *metrics {
+	return &metrics{
+		requests:   make(map[string]int64),
+		solves:     make(map[string]int64),
+		iterations: make(map[string]int64),
+		latency:    make(map[string]*histogram),
+		batches:    newHistogram(batchBuckets),
+		started:    time.Now(),
+	}
+}
+
+func (m *metrics) recordRequest(endpoint string, code int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.requests[endpoint+"|"+strconv.Itoa(code)]++
+}
+
+func (m *metrics) recordSolve(resp *SolveResponse, latency time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	key := resp.System + "|" + resp.Path
+	m.solves[key]++
+	m.iterations[key] += int64(resp.Iterations)
+	if resp.Path != "cold" {
+		m.warmAttempts++
+		if resp.WarmConverged {
+			m.warmConverged++
+		}
+		if resp.ColdRestarted {
+			m.coldRestarts++
+		}
+	}
+	h := m.latency[resp.Path]
+	if h == nil {
+		h = newHistogram(latencyBuckets)
+		m.latency[resp.Path] = h
+	}
+	h.observe(latency.Seconds())
+}
+
+func (m *metrics) observeBatchSize(n int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.batches.observe(float64(n))
+}
+
+// render writes every metric in Prometheus text exposition format, with
+// deterministic (sorted) label ordering.
+func (m *metrics) render(w io.Writer, queueDepth int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	fmt.Fprintln(w, "# HELP pgsimd_http_requests_total API responses by endpoint and status code.")
+	fmt.Fprintln(w, "# TYPE pgsimd_http_requests_total counter")
+	for _, k := range sortedKeys(m.requests) {
+		ep, code, _ := strings.Cut(k, "|")
+		fmt.Fprintf(w, "pgsimd_http_requests_total{endpoint=%q,code=%q} %d\n", ep, code, m.requests[k])
+	}
+
+	fmt.Fprintln(w, "# HELP pgsimd_solves_total Completed solves by system and pipeline path.")
+	fmt.Fprintln(w, "# TYPE pgsimd_solves_total counter")
+	for _, k := range sortedKeys(m.solves) {
+		sys, path, _ := strings.Cut(k, "|")
+		fmt.Fprintf(w, "pgsimd_solves_total{system=%q,path=%q} %d\n", sys, path, m.solves[k])
+	}
+
+	fmt.Fprintln(w, "# HELP pgsimd_solve_iterations_total Interior-point iterations of accepted solves.")
+	fmt.Fprintln(w, "# TYPE pgsimd_solve_iterations_total counter")
+	for _, k := range sortedKeys(m.iterations) {
+		sys, path, _ := strings.Cut(k, "|")
+		fmt.Fprintf(w, "pgsimd_solve_iterations_total{system=%q,path=%q} %d\n", sys, path, m.iterations[k])
+	}
+
+	fmt.Fprintln(w, "# HELP pgsimd_warm_attempts_total Warm-start attempts (requests served with a model).")
+	fmt.Fprintln(w, "# TYPE pgsimd_warm_attempts_total counter")
+	fmt.Fprintf(w, "pgsimd_warm_attempts_total %d\n", m.warmAttempts)
+	fmt.Fprintln(w, "# HELP pgsimd_warm_converged_total Warm starts that converged without restart (hit rate numerator).")
+	fmt.Fprintln(w, "# TYPE pgsimd_warm_converged_total counter")
+	fmt.Fprintf(w, "pgsimd_warm_converged_total %d\n", m.warmConverged)
+	fmt.Fprintln(w, "# HELP pgsimd_cold_restarts_total Cold fallbacks after a non-convergent warm start.")
+	fmt.Fprintln(w, "# TYPE pgsimd_cold_restarts_total counter")
+	fmt.Fprintf(w, "pgsimd_cold_restarts_total %d\n", m.coldRestarts)
+
+	fmt.Fprintln(w, "# HELP pgsimd_solve_latency_seconds End-to-end solve latency by pipeline path.")
+	fmt.Fprintln(w, "# TYPE pgsimd_solve_latency_seconds histogram")
+	for _, path := range sortedKeys(m.latency) {
+		m.latency[path].render(w, "pgsimd_solve_latency_seconds", fmt.Sprintf("path=%q,", path))
+	}
+
+	fmt.Fprintln(w, "# HELP pgsimd_batch_size Requests coalesced per micro-batch.")
+	fmt.Fprintln(w, "# TYPE pgsimd_batch_size histogram")
+	m.batches.render(w, "pgsimd_batch_size", "")
+
+	fmt.Fprintln(w, "# HELP pgsimd_queue_depth Requests waiting for the dispatcher.")
+	fmt.Fprintln(w, "# TYPE pgsimd_queue_depth gauge")
+	fmt.Fprintf(w, "pgsimd_queue_depth %d\n", queueDepth)
+
+	fmt.Fprintln(w, "# HELP pgsimd_uptime_seconds Seconds since the server started.")
+	fmt.Fprintln(w, "# TYPE pgsimd_uptime_seconds gauge")
+	fmt.Fprintf(w, "pgsimd_uptime_seconds %g\n", time.Since(m.started).Seconds())
+}

@@ -1,0 +1,292 @@
+// Package serve is the warm-start OPF serving subsystem behind cmd/pgsimd:
+// a long-running HTTP/JSON service that turns the Smart-PGSim online
+// phase (predict → warm interior-point solve → cold-restart fallback)
+// into an always-on solver for concurrent clients.
+//
+// The server keeps, per base grid, the opf.Prepare'd problem structure
+// (admittance matrices, rated-branch subset, bounds, constraint layout)
+// and derives each request's instance with (*opf.OPF).Perturb, so a
+// request pays only the clone+scale+rebind derivation cost, never a full
+// Prepare. Warm starts come from a pool of per-worker model replicas
+// (mtl.Model.Clone — forward passes cache activations, so a replica
+// serves one in-flight prediction); replicas share weights, so results
+// do not depend on which replica served a request.
+//
+// Concurrent solve requests are micro-batched: a dispatcher coalesces
+// requests that arrive within Config.BatchWindow of each other (up to
+// Config.MaxBatch) and fans the batch out across the internal/batch
+// worker pool. Each request runs the exact offline code path
+// (core.System.SolveWarm, or a cold (*opf.OPF).Solve), so a served
+// solution is bit-identical to what cmd/pgsim or cmd/smartpgsim would
+// compute for the same system, factors and model — pinned by the
+// equivalence tests in this package.
+//
+// Endpoints:
+//
+//	POST /v1/solve    solve one load instance (SolveRequest → SolveResponse)
+//	GET  /v1/systems  loaded systems, sizes, model availability
+//	GET  /healthz     liveness + uptime
+//	GET  /metrics     Prometheus text: request/solve counters, warm-start
+//	                  hit rate, latency and batch-size histograms
+//
+// Backpressure is explicit: at most Config.QueueDepth requests wait for
+// the dispatcher; beyond that the server sheds load with 503 rather than
+// queueing unboundedly.
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/batch"
+	"repro/internal/core"
+	"repro/internal/mtl"
+)
+
+// Config sizes the server. The zero value is usable: every field has a
+// serving-appropriate default.
+type Config struct {
+	// Workers is the solver pool size per micro-batch; 0 resolves through
+	// the batch engine's chain (PGSIM_WORKERS, SetDefaultWorkers,
+	// GOMAXPROCS).
+	Workers int
+	// MaxBatch caps how many queued requests one micro-batch coalesces
+	// (default 16).
+	MaxBatch int
+	// BatchWindow is how long the dispatcher waits after the first
+	// queued request for more to arrive. 0 means the 2ms default; a
+	// negative value disables the wait entirely — each batch takes only
+	// what is already queued.
+	BatchWindow time.Duration
+	// QueueDepth bounds requests waiting for the dispatcher (default
+	// 256); a full queue answers 503.
+	QueueDepth int
+	// MaxBodyBytes caps a request body (default 1 MiB).
+	MaxBodyBytes int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 16
+	}
+	if c.BatchWindow == 0 {
+		c.BatchWindow = 2 * time.Millisecond
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 256
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+	return c
+}
+
+// systemState is one registered base grid: the shared prepared problem
+// structure plus the warm-start predictor pool (nil for cold-only).
+type systemState struct {
+	sys  *core.System
+	pool chan core.Predictor
+}
+
+// Server is the OPF-serving engine. Register systems with AddSystem
+// before exposing Handler; Close stops the dispatcher after the HTTP
+// listener has drained.
+type Server struct {
+	cfg     Config
+	mux     *http.ServeMux
+	systems map[string]*systemState
+	names   []string // registration order, for /v1/systems
+	queue   chan *job
+	done    chan struct{}
+	wg      sync.WaitGroup
+	met     *metrics
+	started time.Time
+}
+
+// New builds a server and starts its micro-batch dispatcher.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		mux:     http.NewServeMux(),
+		systems: make(map[string]*systemState),
+		queue:   make(chan *job, cfg.QueueDepth),
+		done:    make(chan struct{}),
+		met:     newMetrics(),
+		started: time.Now(),
+	}
+	s.mux.HandleFunc("POST /v1/solve", s.handleSolve)
+	s.mux.HandleFunc("GET /v1/systems", s.handleSystems)
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.wg.Add(1)
+	go s.dispatch()
+	return s
+}
+
+// AddSystem registers a base grid, with m (may be nil for cold-only
+// serving) as the warm-start model. The model is cloned into a replica
+// pool sized to the in-flight solve limit. Not safe to call once the
+// handler is serving traffic.
+func (s *Server) AddSystem(sys *core.System, m *mtl.Model) {
+	if m == nil {
+		s.addSystem(sys, nil)
+		return
+	}
+	n := s.replicaCount()
+	reps := make([]core.Predictor, n)
+	reps[0] = m // the original counts as one replica
+	for i := 1; i < n; i++ {
+		reps[i] = m.Clone()
+	}
+	s.addSystem(sys, reps)
+}
+
+// AddSystemPredictors registers a base grid with an explicit replica
+// set — one Predictor per concurrently served warm start. Tests use it
+// to force warm-start outcomes; AddSystem is the production path.
+func (s *Server) AddSystemPredictors(sys *core.System, replicas []core.Predictor) {
+	s.addSystem(sys, replicas)
+}
+
+func (s *Server) addSystem(sys *core.System, replicas []core.Predictor) {
+	st := &systemState{sys: sys}
+	if len(replicas) > 0 {
+		st.pool = make(chan core.Predictor, len(replicas))
+		for _, p := range replicas {
+			st.pool <- p
+		}
+	}
+	if _, dup := s.systems[sys.Name]; !dup {
+		s.names = append(s.names, sys.Name)
+	}
+	s.systems[sys.Name] = st
+}
+
+// replicaCount is the most warm starts that can be in flight at once:
+// one micro-batch of MaxBatch requests spread over the worker pool.
+func (s *Server) replicaCount() int {
+	n := batch.Workers(s.cfg.Workers)
+	if n > s.cfg.MaxBatch {
+		n = s.cfg.MaxBatch
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// Handler returns the HTTP handler serving the API.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Close stops the dispatcher after completing every queued request.
+// Call it after the HTTP server has drained (http.Server.Shutdown), so
+// no handler is left waiting on the queue.
+func (s *Server) Close() {
+	close(s.done)
+	s.wg.Wait()
+}
+
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	var req SolveRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		s.writeError(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
+		return
+	}
+	st, factors, err := s.validate(&req)
+	if err != nil {
+		code := http.StatusBadRequest
+		if err == errUnknownSystem {
+			code = http.StatusNotFound
+		}
+		s.writeError(w, code, err.Error())
+		return
+	}
+	j := &job{st: st, cold: req.Cold, factors: factors, resp: make(chan *SolveResponse, 1)}
+	select {
+	case s.queue <- j:
+	default:
+		s.writeError(w, http.StatusServiceUnavailable, "solve queue full, retry later")
+		return
+	}
+	select {
+	case resp := <-j.resp:
+		s.writeJSON(w, http.StatusOK, resp)
+	case <-r.Context().Done():
+		// Client gone; the solve still completes (resp is buffered) and
+		// its metrics are recorded, but there is nobody to answer.
+	}
+}
+
+func (s *Server) handleSystems(w http.ResponseWriter, r *http.Request) {
+	out := SystemsResponse{Systems: make([]SystemInfo, 0, len(s.names))}
+	for _, name := range s.names {
+		st := s.systems[name]
+		c, lay := st.sys.Case, st.sys.OPF.Lay
+		out.Systems = append(out.Systems, SystemInfo{
+			Name: name, Buses: c.NB(), Generators: c.NG(), Branches: c.NL(),
+			NLam: lay.NEq, NMu: lay.NIq, Model: st.pool != nil,
+		})
+	}
+	s.writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, HealthResponse{
+		Status:  "ok",
+		Systems: len(s.systems),
+		UptimeS: time.Since(s.started).Seconds(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.met.render(w, len(s.queue))
+	s.met.recordRequest("/metrics", http.StatusOK)
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+	s.met.recordRequest(endpointLabel(v), code)
+}
+
+func (s *Server) writeError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(ErrorResponse{Error: msg})
+	s.met.recordRequest("/v1/solve", code)
+}
+
+// endpointLabel maps a response type to its metrics label.
+func endpointLabel(v any) string {
+	switch v.(type) {
+	case *SolveResponse:
+		return "/v1/solve"
+	case SystemsResponse:
+		return "/v1/systems"
+	case HealthResponse:
+		return "/healthz"
+	default:
+		return "other"
+	}
+}
+
+// sortedKeys returns the map's keys in lexical order (deterministic
+// metrics rendering).
+func sortedKeys[V any](m map[string]V) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}

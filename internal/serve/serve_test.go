@@ -1,0 +1,430 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/la"
+	"repro/internal/mtl"
+	"repro/internal/opf"
+)
+
+// fixture shares one loaded system and one trained model across tests
+// (training dominates the suite's runtime).
+var fixture struct {
+	once sync.Once
+	sys  *core.System
+	m    *mtl.Model
+	err  error
+}
+
+func loadFixture(t *testing.T) (*core.System, *mtl.Model) {
+	t.Helper()
+	fixture.once.Do(func() {
+		sys, err := core.LoadSystem("case9")
+		if err != nil {
+			fixture.err = err
+			return
+		}
+		set, err := sys.GenerateData(40, 3)
+		if err != nil {
+			fixture.err = err
+			return
+		}
+		train, _ := set.Split(0.8)
+		m, err := sys.TrainModel(mtl.VariantSmartPGSim, train, 60, 7, nil)
+		if err != nil {
+			fixture.err = err
+			return
+		}
+		fixture.sys, fixture.m = sys, m
+	})
+	if fixture.err != nil {
+		t.Fatal(fixture.err)
+	}
+	return fixture.sys, fixture.m
+}
+
+func newTestServer(t *testing.T, cfg Config, sys *core.System, m *mtl.Model) *Server {
+	t.Helper()
+	s := New(cfg)
+	s.AddSystem(sys, m)
+	t.Cleanup(s.Close)
+	return s
+}
+
+func postSolve(t *testing.T, h http.Handler, body string) (int, []byte) {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, "/v1/solve", strings.NewReader(body))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec.Code, rec.Body.Bytes()
+}
+
+func decodeSolve(t *testing.T, body []byte) *SolveResponse {
+	t.Helper()
+	var resp SolveResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatalf("bad solve response %s: %v", body, err)
+	}
+	return &resp
+}
+
+func uniform(n int, v float64) []float64 {
+	f := make([]float64, n)
+	for i := range f {
+		f[i] = v
+	}
+	return f
+}
+
+func TestRequestValidation(t *testing.T) {
+	sys, _ := loadFixture(t)
+	s := newTestServer(t, Config{}, sys, nil)
+	h := s.Handler()
+
+	cases := []struct {
+		name string
+		body string
+		code int
+		want string // substring of the error
+	}{
+		{"bad json", "{", http.StatusBadRequest, "bad request body"},
+		{"unknown field", `{"system":"case9","bogus":1}`, http.StatusBadRequest, "bogus"},
+		{"missing system", `{}`, http.StatusBadRequest, "system"},
+		{"unknown system", `{"system":"case999"}`, http.StatusNotFound, "unknown system"},
+		{"scale and factors", `{"system":"case9","scale":1.0,"factors":[1,1,1,1,1,1,1,1,1]}`, http.StatusBadRequest, "mutually exclusive"},
+		{"negative scale", `{"system":"case9","scale":-1}`, http.StatusBadRequest, "out of range"},
+		{"absurd scale", `{"system":"case9","scale":1000}`, http.StatusBadRequest, "out of range"},
+		{"short factors", `{"system":"case9","factors":[1,1]}`, http.StatusBadRequest, "9 buses"},
+		{"bad factor value", `{"system":"case9","factors":[1,1,1,1,-2,1,1,1,1]}`, http.StatusBadRequest, "factors[4]"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, body := postSolve(t, h, tc.body)
+			if code != tc.code {
+				t.Fatalf("status = %d (%s), want %d", code, body, tc.code)
+			}
+			var er ErrorResponse
+			if err := json.Unmarshal(body, &er); err != nil {
+				t.Fatalf("error body %s not JSON: %v", body, err)
+			}
+			if !strings.Contains(er.Error, tc.want) {
+				t.Fatalf("error %q does not mention %q", er.Error, tc.want)
+			}
+		})
+	}
+
+	t.Run("method not allowed", func(t *testing.T) {
+		req := httptest.NewRequest(http.MethodGet, "/v1/solve", nil)
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusMethodNotAllowed {
+			t.Fatalf("GET /v1/solve = %d, want 405", rec.Code)
+		}
+	})
+
+	t.Run("oversized body", func(t *testing.T) {
+		big := `{"system":"case9","factors":[` + strings.Repeat("1,", 1<<20) + `1]}`
+		s2 := newTestServer(t, Config{MaxBodyBytes: 1024}, sys, nil)
+		code, _ := postSolve(t, s2.Handler(), big)
+		if code != http.StatusBadRequest {
+			t.Fatalf("oversized body = %d, want 400", code)
+		}
+	})
+}
+
+// TestColdMatchesOffline pins that a served cold solve is bit-identical
+// to the offline pgsim path (Perturb + Solve from the default start).
+func TestColdMatchesOffline(t *testing.T) {
+	sys, _ := loadFixture(t)
+	s := newTestServer(t, Config{}, sys, nil)
+
+	factors := uniform(sys.Case.NB(), 1.05)
+	code, body := postSolve(t, s.Handler(), `{"system":"case9","scale":1.05}`)
+	if code != http.StatusOK {
+		t.Fatalf("status = %d (%s)", code, body)
+	}
+	resp := decodeSolve(t, body)
+	if resp.Path != "cold" || !resp.Converged || resp.ColdRestarted {
+		t.Fatalf("unexpected outcome: %+v", resp)
+	}
+
+	ref, err := sys.OPF.Perturb(factors).Solve(nil, opf.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Iterations != ref.Iterations || resp.Cost != ref.Cost {
+		t.Fatalf("served (it=%d cost=%v) != offline (it=%d cost=%v)",
+			resp.Iterations, resp.Cost, ref.Iterations, ref.Cost)
+	}
+	checkVectors(t, resp, ref)
+}
+
+// TestWarmMatchesOffline pins that a warm-started served solution is
+// bit-identical to the offline core.SolveWarm path with the same model.
+func TestWarmMatchesOffline(t *testing.T) {
+	sys, m := loadFixture(t)
+	s := newTestServer(t, Config{}, sys, m)
+
+	scale := 1.02
+	factors := uniform(sys.Case.NB(), scale)
+	code, body := postSolve(t, s.Handler(), fmt.Sprintf(`{"system":"case9","scale":%v}`, scale))
+	if code != http.StatusOK {
+		t.Fatalf("status = %d (%s)", code, body)
+	}
+	resp := decodeSolve(t, body)
+	if !resp.Converged {
+		t.Fatalf("request did not converge: %+v", resp)
+	}
+	if resp.Path != "warm" && resp.Path != "warm_restart" {
+		t.Fatalf("path = %q, want a warm-pipeline path", resp.Path)
+	}
+
+	ref := sys.SolveWarm(m, factors, sys.InstanceInput(factors))
+	if resp.WarmConverged != ref.Converged {
+		t.Fatalf("served warm_converged=%v, offline %v", resp.WarmConverged, ref.Converged)
+	}
+	if resp.Iterations != ref.Iterations || resp.Cost != ref.Cost {
+		t.Fatalf("served (it=%d cost=%v) != offline (it=%d cost=%v)",
+			resp.Iterations, resp.Cost, ref.Iterations, ref.Cost)
+	}
+	checkVectors(t, resp, ref.Result)
+
+	// The warm solution is the same optimum the cold path finds.
+	cold, err := sys.OPF.Perturb(factors).Solve(nil, opf.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := resp.Cost/cold.Cost - 1; d > 1e-6 || d < -1e-6 {
+		t.Fatalf("warm cost %v deviates from cold optimum %v", resp.Cost, cold.Cost)
+	}
+}
+
+// stubPredictor forces a specific warm-start point regardless of input.
+type stubPredictor struct{ start *opf.Start }
+
+func (p stubPredictor) Predict(la.Vector) *opf.Start { return p.start }
+
+// badStart is a warm-start point that deterministically does not
+// converge on case9 (alternating near-zero/huge voltage magnitudes with
+// wild angles — verified to hit the MIPS iteration limit).
+func badStart(lay opf.Layout) *opf.Start {
+	mk := func(n int, v float64) la.Vector {
+		x := make(la.Vector, n)
+		for i := range x {
+			x[i] = v
+		}
+		return x
+	}
+	x := mk(lay.NX, 0)
+	for i := 0; i < lay.NB; i++ {
+		x[lay.VaOff+i] = float64(i) * 3
+		if i%2 == 0 {
+			x[lay.VmOff+i] = 1e-6
+		} else {
+			x[lay.VmOff+i] = 1e4
+		}
+	}
+	return &opf.Start{X: x, Lam: mk(lay.NEq, -1e7), Mu: mk(lay.NIq, 1e-8), Z: mk(lay.NIq, 1e-8)}
+}
+
+// TestWarmColdFallback pins the transparent cold restart: a forced
+// non-convergent prediction must still produce the converged cold
+// solution, flagged as a restart.
+func TestWarmColdFallback(t *testing.T) {
+	sys, _ := loadFixture(t)
+	s := New(Config{})
+	t.Cleanup(s.Close)
+	s.AddSystemPredictors(sys, []core.Predictor{stubPredictor{start: badStart(sys.OPF.Lay)}})
+
+	code, body := postSolve(t, s.Handler(), `{"system":"case9","scale":1.01}`)
+	if code != http.StatusOK {
+		t.Fatalf("status = %d (%s)", code, body)
+	}
+	resp := decodeSolve(t, body)
+	if resp.Path != "warm_restart" || resp.WarmConverged || !resp.ColdRestarted {
+		t.Fatalf("fallback not taken: %+v", resp)
+	}
+	if !resp.Converged {
+		t.Fatal("cold restart did not converge")
+	}
+
+	factors := uniform(sys.Case.NB(), 1.01)
+	ref, err := sys.OPF.Perturb(factors).Solve(nil, opf.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Iterations != ref.Iterations || resp.Cost != ref.Cost {
+		t.Fatalf("restart solution (it=%d cost=%v) != offline cold (it=%d cost=%v)",
+			resp.Iterations, resp.Cost, ref.Iterations, ref.Cost)
+	}
+	checkVectors(t, resp, ref)
+	if resp.Timing.RestartUS <= 0 {
+		t.Fatalf("restart timing not reported: %+v", resp.Timing)
+	}
+}
+
+// TestConcurrentDeterminism fires concurrent warm requests through a
+// real listener (exercising the micro-batcher and the replica pool) and
+// pins every response against its sequentially computed offline
+// reference.
+func TestConcurrentDeterminism(t *testing.T) {
+	sys, m := loadFixture(t)
+	s := newTestServer(t, Config{Workers: 4, MaxBatch: 8, BatchWindow: 10 * time.Millisecond}, sys, m)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+
+	scales := []float64{0.92, 0.95, 0.98, 1.0, 1.02, 1.05, 1.08, 0.92, 1.0, 1.05}
+	refs := make([]*core.WarmOutcome, len(scales))
+	for i, sc := range scales {
+		f := uniform(sys.Case.NB(), sc)
+		refs[i] = sys.SolveWarm(m, f, sys.InstanceInput(f))
+	}
+
+	type result struct {
+		idx  int
+		resp *SolveResponse
+		err  error
+	}
+	results := make(chan result, len(scales))
+	for i, sc := range scales {
+		go func(i int, sc float64) {
+			r, err := http.Post(ts.URL+"/v1/solve", "application/json",
+				strings.NewReader(fmt.Sprintf(`{"system":"case9","scale":%v}`, sc)))
+			if err != nil {
+				results <- result{idx: i, err: err}
+				return
+			}
+			defer r.Body.Close()
+			body, _ := io.ReadAll(r.Body)
+			if r.StatusCode != http.StatusOK {
+				results <- result{idx: i, err: fmt.Errorf("status %d: %s", r.StatusCode, body)}
+				return
+			}
+			var resp SolveResponse
+			if err := json.Unmarshal(body, &resp); err != nil {
+				results <- result{idx: i, err: err}
+				return
+			}
+			results <- result{idx: i, resp: &resp}
+		}(i, sc)
+	}
+	for range scales {
+		r := <-results
+		if r.err != nil {
+			t.Fatal(r.err)
+		}
+		ref := refs[r.idx]
+		if r.resp.Iterations != ref.Iterations || r.resp.Cost != ref.Cost ||
+			r.resp.WarmConverged != ref.Converged {
+			t.Fatalf("scale %v: served (it=%d cost=%v warm=%v) != offline (it=%d cost=%v warm=%v)",
+				scales[r.idx], r.resp.Iterations, r.resp.Cost, r.resp.WarmConverged,
+				ref.Iterations, ref.Cost, ref.Converged)
+		}
+		checkVectors(t, r.resp, ref.Result)
+	}
+}
+
+func TestSystemsHealthMetrics(t *testing.T) {
+	sys, m := loadFixture(t)
+	s := newTestServer(t, Config{}, sys, m)
+	h := s.Handler()
+
+	// A solve so the counters are non-zero.
+	if code, body := postSolve(t, h, `{"system":"case9"}`); code != http.StatusOK {
+		t.Fatalf("solve = %d (%s)", code, body)
+	}
+
+	req := httptest.NewRequest(http.MethodGet, "/v1/systems", nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	var sr SystemsResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &sr); err != nil {
+		t.Fatal(err)
+	}
+	if len(sr.Systems) != 1 || sr.Systems[0].Name != "case9" || !sr.Systems[0].Model {
+		t.Fatalf("systems = %+v", sr.Systems)
+	}
+	if sr.Systems[0].Buses != 9 || sr.Systems[0].NLam != sys.OPF.Lay.NEq {
+		t.Fatalf("system info = %+v", sr.Systems[0])
+	}
+
+	req = httptest.NewRequest(http.MethodGet, "/healthz", nil)
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	var hr HealthResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &hr); err != nil {
+		t.Fatal(err)
+	}
+	if hr.Status != "ok" || hr.Systems != 1 {
+		t.Fatalf("health = %+v", hr)
+	}
+
+	req = httptest.NewRequest(http.MethodGet, "/metrics", nil)
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	met := rec.Body.String()
+	for _, want := range []string{
+		"pgsimd_warm_attempts_total 1",
+		`pgsimd_solves_total{system="case9",path="warm`, // warm or warm_restart
+		"pgsimd_solve_latency_seconds_count",
+		"pgsimd_batch_size_count 1",
+		"pgsimd_queue_depth 0",
+		`pgsimd_http_requests_total{endpoint="/v1/solve",code="200"} 1`,
+	} {
+		if !strings.Contains(met, want) {
+			t.Fatalf("metrics missing %q:\n%s", want, met)
+		}
+	}
+}
+
+// TestQueueFull pins load shedding: with a full queue the server
+// answers 503 instead of blocking.
+func TestQueueFull(t *testing.T) {
+	sys, _ := loadFixture(t)
+	s := New(Config{QueueDepth: 1, MaxBatch: 1})
+	s.AddSystem(sys, nil)
+	// Stop the dispatcher first so the stuffed queue stays full for the
+	// handler under test.
+	s.Close()
+	s.queue <- &job{st: s.systems["case9"], factors: uniform(9, 1), resp: make(chan *SolveResponse, 1)}
+
+	code, body := postSolve(t, s.Handler(), `{"system":"case9"}`)
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("full queue = %d (%s), want 503", code, body)
+	}
+	var er ErrorResponse
+	if err := json.Unmarshal(body, &er); err != nil || !strings.Contains(er.Error, "queue full") {
+		t.Fatalf("error body = %s", body)
+	}
+}
+
+// checkVectors compares the solution vectors of a response against an
+// offline opf.Result bit for bit (JSON float64 encoding round-trips
+// exactly).
+func checkVectors(t *testing.T, resp *SolveResponse, ref *opf.Result) {
+	t.Helper()
+	cmp := func(name string, got []float64, want la.Vector) {
+		if len(got) != len(want) {
+			t.Fatalf("%s: %d entries, want %d", name, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("%s[%d] = %v, offline %v", name, i, got[i], want[i])
+			}
+		}
+	}
+	cmp("va", resp.Va, ref.Va)
+	cmp("vm", resp.Vm, ref.Vm)
+	cmp("pg", resp.Pg, ref.Pg)
+	cmp("qg", resp.Qg, ref.Qg)
+}
