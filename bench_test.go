@@ -9,10 +9,12 @@ package smartpgsim_test
 // accept flags to run any size.
 
 import (
+	"encoding/json"
 	"fmt"
 	"os"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/dataset"
@@ -375,4 +377,194 @@ func BenchmarkAblationKKTOrdering(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// ---------------------------------------------------------------------------
+// Solver-kernel benchmarks (PERFORMANCE.md). These are fixture-free — no
+// dataset generation or model training — so the CI bench smoke job can run
+// them with -benchtime=1x in seconds. The first invocation of either writes
+// BENCH_kkt.json with self-timed numbers for the symbolic-reuse speedups.
+
+// kktBench holds a KKT-shaped matrix of the case14 OPF: Hessian-proxy
+// diagonal plus JhᵀJh on the (1,1) block, bordered by the equality
+// Jacobian — the bordered-system structure every MIPS iteration factors.
+var (
+	kktOnce   sync.Once
+	kktMatrix *sparse.CSC
+)
+
+func kktBenchMatrix() *sparse.CSC {
+	kktOnce.Do(func() {
+		o := core.MustLoadSystem("case14").OPF
+		x := o.DefaultStart()
+		_, jg := o.Equality(x)
+		_, jh := o.FullInequality(x)
+		nx, neq := o.Lay.NX, o.Lay.NEq
+		kb := sparse.NewBuilder(nx+neq, nx+neq)
+		for i := 0; i < nx; i++ {
+			kb.Append(i, i, 4)
+		}
+		jt := jh.T() // column r of jt is inequality row r
+		for r := 0; r < jt.NCols; r++ {
+			lo, hi := jt.ColPtr[r], jt.ColPtr[r+1]
+			for p1 := lo; p1 < hi; p1++ {
+				for p2 := lo; p2 < hi; p2++ {
+					kb.Append(jt.RowIdx[p1], jt.RowIdx[p2], jt.Val[p1]*jt.Val[p2])
+				}
+			}
+		}
+		kb.AppendCSC(nx, 0, 1, jg)
+		kb.AppendCSC(0, nx, 1, jg.T())
+		kktMatrix = kb.ToCSC()
+	})
+	return kktMatrix
+}
+
+// BenchmarkKKTFactor times the two halves of the symbolic/numeric split
+// on the case14 KKT matrix: a full analysis (ordering + pattern DFS +
+// pivot search) versus a numeric refactorization on the cached symbolic.
+func BenchmarkKKTFactor(b *testing.B) {
+	kkt := kktBenchMatrix()
+	writeKKTBenchReport(b)
+	b.Run("analyze", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := sparse.FactorizeOpts(kkt, sparse.OrderRCM, 1.0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("refactor", func(b *testing.B) {
+		sym, _, err := sparse.Analyze(kkt, sparse.OrderRCM, 1.0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := sym.Refactor(kkt); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	for _, ord := range []sparse.Ordering{sparse.OrderNatural, sparse.OrderRCM, sparse.OrderAMD} {
+		b.Run("ordering/"+ord.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := sparse.FactorizeOpts(kkt, ord, 1.0); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkMIPSSolve times a cold case14 AC-OPF solve with the symbolic
+// KKT reuse on (the default) and off (the pre-reuse per-iteration full
+// factorization) — the end-to-end number PERFORMANCE.md quotes.
+func BenchmarkMIPSSolve(b *testing.B) {
+	sys := core.MustLoadSystem("case14")
+	writeKKTBenchReport(b)
+	fac := make([]float64, sys.Case.NB())
+	for i := range fac {
+		fac[i] = 1.03
+	}
+	for _, mode := range []struct {
+		name    string
+		noReuse bool
+	}{{"reuse", false}, {"noreuse", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			base := opf.Prepare(sys.Case)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := base.Perturb(fac).Solve(nil, opf.Options{NoKKTReuse: mode.noReuse}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+var kktReportOnce sync.Once
+
+// writeKKTBenchReport self-times the symbolic-reuse speedups over fixed
+// repetition counts (independent of -benchtime) and writes BENCH_kkt.json,
+// the machine-readable benchmark trajectory PERFORMANCE.md documents.
+func writeKKTBenchReport(b *testing.B) {
+	b.Helper()
+	kktReportOnce.Do(func() {
+		kkt := kktBenchMatrix()
+		timeIt := func(reps int, f func() error) (nsPerOp float64) {
+			t0 := time.Now()
+			for i := 0; i < reps; i++ {
+				if err := f(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			return float64(time.Since(t0).Nanoseconds()) / float64(reps)
+		}
+
+		const facReps = 200
+		analyzeNs := timeIt(facReps, func() error {
+			_, err := sparse.FactorizeOpts(kkt, sparse.OrderRCM, 1.0)
+			return err
+		})
+		sym, _, err := sparse.Analyze(kkt, sparse.OrderRCM, 1.0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		refactorNs := timeIt(facReps, func() error {
+			_, err := sym.Refactor(kkt)
+			return err
+		})
+
+		fill := map[string]int{}
+		for _, ord := range []sparse.Ordering{sparse.OrderNatural, sparse.OrderRCM, sparse.OrderAMD} {
+			f, err := sparse.FactorizeOpts(kkt, ord, 1.0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			fill[ord.String()] = f.NNZ()
+		}
+
+		sys := core.MustLoadSystem("case14")
+		fac := make([]float64, sys.Case.NB())
+		for i := range fac {
+			fac[i] = 1.03
+		}
+		const solveReps = 10
+		solve := func(noReuse bool) func() error {
+			base := opf.Prepare(sys.Case)
+			return func() error {
+				_, err := base.Perturb(fac).Solve(nil, opf.Options{NoKKTReuse: noReuse})
+				return err
+			}
+		}
+		reuseNs := timeIt(solveReps, solve(false))
+		noReuseNs := timeIt(solveReps, solve(true))
+
+		report := map[string]any{
+			"benchmark": "kkt-symbolic-reuse",
+			"produced_by": "go test -bench 'KKTFactor|MIPSSolve' (self-timed section; " +
+				"see PERFORMANCE.md)",
+			"case":    "case14",
+			"kkt_n":   kkt.NRows,
+			"kkt_nnz": kkt.NNZ(),
+			"entries": []map[string]any{
+				{"name": "KKTFactor/analyze", "ns_per_op": analyzeNs, "ops": facReps},
+				{"name": "KKTFactor/refactor", "ns_per_op": refactorNs, "ops": facReps},
+				{"name": "MIPSSolve/reuse", "ns_per_op": reuseNs, "ops": solveReps},
+				{"name": "MIPSSolve/noreuse", "ns_per_op": noReuseNs, "ops": solveReps},
+			},
+			"fill_by_ordering":            fill,
+			"speedup_refactor_vs_analyze": analyzeNs / refactorNs,
+			"speedup_mips_solve":          noReuseNs / reuseNs,
+		}
+		buf, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := os.WriteFile("BENCH_kkt.json", append(buf, '\n'), 0o644); err != nil {
+			b.Fatal(err)
+		}
+		fmt.Printf("BENCH_kkt.json: refactor %.1fx faster than analyze, cold MIPS solve %.2fx faster with reuse\n",
+			analyzeNs/refactorNs, noReuseNs/reuseNs)
+	})
 }

@@ -10,6 +10,8 @@
 //	pgsim -file mygrid.m -trace
 //	pgsim -case case30 -scale 1.05
 //	pgsim -case case30 -scale 0.9,0.95,1.0,1.05,1.1 -workers 4
+//	pgsim -case case30 -ordering amd
+//	pgsim -case case30 -kkt-reuse=false   # pre-reuse baseline (EXPERIMENTS.md)
 package main
 
 import (
@@ -25,6 +27,7 @@ import (
 	"repro/internal/casegen"
 	"repro/internal/grid"
 	"repro/internal/opf"
+	"repro/internal/sparse"
 )
 
 func main() {
@@ -35,13 +38,16 @@ func main() {
 	scale := flag.String("scale", "1.0", "uniform load scaling factor, or a comma-separated sweep (e.g. 0.9,1.0,1.1)")
 	trace := flag.Bool("trace", false, "print per-iteration convergence trace")
 	workers := flag.Int("workers", 0, "worker pool size for batch stages (0 = PGSIM_WORKERS or all cores)")
+	ordering := flag.String("ordering", "rcm", "fill-reducing ordering for the KKT factorization (natural, rcm, amd)")
+	kktReuse := flag.Bool("kkt-reuse", true, "reuse the symbolic KKT factorization across interior-point iterations")
 	flag.Parse()
 	batch.SetDefaultWorkers(*workers)
+	ord, err := sparse.ParseOrdering(*ordering)
+	if err != nil {
+		log.Fatal(err)
+	}
 
-	var (
-		c   *grid.Case
-		err error
-	)
+	var c *grid.Case
 	if *file != "" {
 		f, ferr := os.Open(*file)
 		if ferr != nil {
@@ -60,7 +66,7 @@ func main() {
 		log.Fatal(err)
 	}
 	if len(scales) > 1 {
-		sweep(c, scales)
+		sweep(c, scales, ord, !*kktReuse)
 		return
 	}
 	if s := scales[0]; s != 1.0 {
@@ -72,7 +78,10 @@ func main() {
 	}
 
 	o := opf.Prepare(c)
-	r, err := o.Solve(nil, opf.Options{RecordTrace: *trace})
+	if ord != sparse.OrderRCM {
+		o.SetOrdering(ord)
+	}
+	r, err := o.Solve(nil, opf.Options{RecordTrace: *trace, NoKKTReuse: !*kktReuse})
 	if err != nil {
 		log.Fatalf("solve failed: %v", err)
 	}
@@ -81,6 +90,13 @@ func main() {
 		c.Name, c.NB(), c.NG(), c.NL(), o.Lay.NEq, o.Lay.NIq)
 	fmt.Printf("converged in %d iterations (prep %v, solve %v)\n",
 		r.Iterations, r.PrepTime, r.SolveTime)
+	if *kktReuse {
+		st := o.KKTStats()
+		fmt.Printf("KKT: ordering=%s, %d symbolic analyses, %d numeric refactors, %d fallbacks\n",
+			ord, st.Analyses, st.Refactors, st.Fallbacks)
+	} else {
+		fmt.Printf("KKT: ordering=%s, symbolic reuse disabled (one full factorization per iteration)\n", ord)
+	}
 	fmt.Printf("objective: %.2f $/hr\n\n", r.Cost)
 	fmt.Printf("%-6s %10s %10s\n", "bus", "Vm (pu)", "Va (deg)")
 	for i, b := range c.Buses {
@@ -114,9 +130,13 @@ func parseScales(s string) ([]float64, error) {
 }
 
 // sweep solves the case at every load level on the worker pool, reusing
-// the prepared OPF structure, and prints one summary row per level.
-func sweep(c *grid.Case, scales []float64) {
+// the prepared OPF structure (and its shared KKT ordering cache), and
+// prints one summary row per level.
+func sweep(c *grid.Case, scales []float64, ord sparse.Ordering, noReuse bool) {
 	base := opf.Prepare(c)
+	if ord != sparse.OrderRCM {
+		base.SetOrdering(ord)
+	}
 	type row struct {
 		r   *opf.Result
 		err error
@@ -126,7 +146,7 @@ func sweep(c *grid.Case, scales []float64) {
 		for i := range fac {
 			fac[i] = scales[t.Index]
 		}
-		r, err := base.Perturb(fac).Solve(nil, opf.Options{})
+		r, err := base.Perturb(fac).Solve(nil, opf.Options{NoKKTReuse: noReuse})
 		return row{r: r, err: err}, nil
 	})
 	fmt.Printf("case %s: load sweep over %d levels\n", c.Name, len(scales))
@@ -145,5 +165,10 @@ func sweep(c *grid.Case, scales []float64) {
 		}
 		fmt.Printf("%8.3f %10s %6d %14s %12v\n",
 			scales[i], status, out.r.Iterations, cost, out.r.SolveTime.Round(time.Microsecond))
+	}
+	if !noReuse {
+		st := base.KKTStats()
+		fmt.Printf("KKT: ordering=%s, %d ordering computation(s) shared across the sweep, %d symbolic analyses, %d numeric refactors, %d fallbacks\n",
+			ord, st.Orderings, st.Analyses, st.Refactors, st.Fallbacks)
 	}
 }

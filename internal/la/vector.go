@@ -3,6 +3,12 @@
 // pivoting, and the norms and elementwise helpers the interior-point solver
 // and the neural-network training loop are built on.
 //
+// Dense LU (Solve) is O(n³) and allocation-heavy by design — it is the
+// readable reference implementation. The production solvers factor
+// through internal/sparse, and that package's tests pin the sparse
+// symbolic-reuse path against la.Solve on random systems; la is the
+// ground truth the sparse kernels are validated with.
+//
 // Everything is float64 and allocation behaviour is explicit: functions that
 // can reuse a destination take it as the first argument, mirroring the
 // conventions of the standard library's copy/append.

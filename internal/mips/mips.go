@@ -11,6 +11,16 @@
 // inequality set exactly as MIPS does, so the multiplier vector µ and
 // slack vector Z cover both nonlinear constraints and bounds — the
 // objects the Smart-PGSim network predicts.
+//
+// The per-iteration Newton KKT system is the solver's hot path. Its
+// sparsity pattern is fixed across all iterations of a solve, so Solve
+// performs one symbolic factorization (fill-reducing ordering, pattern
+// analysis, pivoting) on the first iteration and numeric-only
+// refactorizations after — see sparse.SymbolicCache and DESIGN.md §7.
+// Options.Orderings extends the value-independent part of that reuse
+// across solves that share a problem structure, Options.Ordering picks
+// the fill-reducing ordering, and Options.NoKKTReuse restores the
+// factor-from-scratch baseline for comparison.
 package mips
 
 import (
@@ -56,6 +66,24 @@ type Options struct {
 	Z0                                 float64 // initial slack scale, default 1
 	Gamma0                             float64 // initial barrier; default 1 (cold start)
 	RecordTrace                        bool    // keep per-iteration Trace
+
+	// Ordering selects the fill-reducing ordering for the KKT
+	// factorization. The zero value is sparse.OrderRCM, the historical
+	// default. Ignored when Orderings is set (the cache's ordering wins).
+	Ordering sparse.Ordering
+	// Orderings, when non-nil, is a shared cache of fill-reducing
+	// orderings keyed by KKT sparsity pattern. The pattern is a property
+	// of the problem structure, not of its values, so one cache safely
+	// serves all solves of load-perturbed instances of one grid —
+	// concurrently and deterministically (opf threads its per-grid cache
+	// through here). The solve's reuse counters are folded into the
+	// cache when it returns.
+	Orderings *sparse.OrderingCache
+	// NoKKTReuse disables symbolic reuse entirely: every iteration runs
+	// a from-scratch factorization (ordering, pattern analysis and
+	// pivoting), exactly the pre-reuse code path. It exists as the
+	// baseline for benchmarks and equivalence tests.
+	NoKKTReuse bool
 }
 
 func (o Options) withDefaults() Options {
@@ -243,6 +271,22 @@ func Solve(p *Problem, x0 la.Vector, ws *WarmStart, opt Options) (*Result, error
 	f0 := f
 	regKKT := 0.0 // escalating Tikhonov regularization after KKT failures
 
+	// One symbolic analysis serves every iteration of this solve: the
+	// KKT pattern is fixed (the Tikhonov-regularized variant is a second
+	// pattern the cache also retains). The cache is per-solve on purpose —
+	// its frozen pivot sequence comes from this solve's own first
+	// iteration, so results cannot depend on other solves' values; only
+	// the value-independent ordering is shared through opt.Orderings.
+	var kktCache *sparse.SymbolicCache
+	if !opt.NoKKTReuse {
+		if opt.Orderings != nil {
+			kktCache = sparse.NewSymbolicCacheFrom(opt.Orderings, 1.0)
+			defer func() { opt.Orderings.AddSolveStats(kktCache.Stats()) }()
+		} else {
+			kktCache = sparse.NewSymbolicCache(opt.Ordering, 1.0)
+		}
+	}
+
 	for iter := 0; iter <= opt.MaxIter; iter++ {
 		// Lagrangian gradient Lx = df + Jgᵀλ + Jhᵀµ.
 		lx := df.Clone()
@@ -320,7 +364,13 @@ func Solve(p *Problem, x0 la.Vector, ws *WarmStart, opt Options) (*Result, error
 		for i := 0; i < neq; i++ {
 			rhs[nx+i] = -g[i]
 		}
-		fac, ferr := sparse.Factorize(kkt.ToCSC())
+		var fac *sparse.LUFactors
+		var ferr error
+		if opt.NoKKTReuse {
+			fac, ferr = sparse.FactorizeOpts(kkt.ToCSC(), opt.Ordering, 1.0)
+		} else {
+			fac, ferr = kktCache.Factorize(kkt.ToCSC())
+		}
 		if ferr != nil {
 			// Retry the same iteration with escalating Tikhonov
 			// regularization on the (1,1) block.

@@ -346,3 +346,76 @@ func TestGammaShrinks(t *testing.T) {
 		t.Fatalf("gamma did not shrink: %v -> %v", tr[0].Gamma, tr[len(tr)-1].Gamma)
 	}
 }
+
+// TestKKTReuseMatchesFullFactorization pins the symbolic-reuse path
+// against the from-scratch baseline: both must converge, in the same
+// number of iterations, to the same point within tight tolerance. (The
+// paths are not bit-identical by construction: reuse freezes the first
+// iteration's pivot sequence where the baseline re-pivots every
+// iteration, so late-bit rounding differs.)
+func TestKKTReuseMatchesFullFactorization(t *testing.T) {
+	x0 := la.Vector{1, 1, 1}
+	rReuse, err := Solve(mipsExampleProblem(), x0, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rFull, err := Solve(mipsExampleProblem(), x0, nil, Options{NoKKTReuse: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rReuse.Converged || !rFull.Converged {
+		t.Fatalf("convergence: reuse=%v full=%v", rReuse.Converged, rFull.Converged)
+	}
+	if rReuse.Iterations != rFull.Iterations {
+		t.Fatalf("iterations: reuse=%d full=%d", rReuse.Iterations, rFull.Iterations)
+	}
+	if d := rReuse.X.Clone().Sub(rFull.X).NormInf(); d > 1e-8 {
+		t.Fatalf("solutions differ by %v", d)
+	}
+	if math.Abs(rReuse.F-rFull.F) > 1e-8*(1+math.Abs(rFull.F)) {
+		t.Fatalf("objectives differ: %v vs %v", rReuse.F, rFull.F)
+	}
+}
+
+// TestKKTOrderingsConverge runs the doc example under every fill-reducing
+// ordering: the ordering changes the factorization, not the solution.
+func TestKKTOrderingsConverge(t *testing.T) {
+	want := la.Vector{1.58114, 2.23607, 1.58114}
+	for _, ord := range []sparse.Ordering{sparse.OrderNatural, sparse.OrderRCM, sparse.OrderAMD} {
+		r, err := Solve(mipsExampleProblem(), la.Vector{1, 1, 1}, nil, Options{Ordering: ord})
+		if err != nil {
+			t.Fatalf("%v: %v", ord, err)
+		}
+		if r.X.Clone().Sub(want).NormInf() > 1e-4 {
+			t.Fatalf("%v: x = %v want %v", ord, r.X, want)
+		}
+	}
+}
+
+// TestKKTSolveStatsReported pins the reuse accounting: a solve wired to
+// a shared OrderingCache folds its per-iteration counters in, with one
+// analysis per pattern and refactors for the remaining iterations.
+func TestKKTSolveStatsReported(t *testing.T) {
+	oc := sparse.NewOrderingCache(sparse.OrderRCM)
+	r, err := Solve(mipsExampleProblem(), la.Vector{1, 1, 1}, nil, Options{Orderings: oc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := oc.Stats()
+	if st.Analyses != 1 {
+		t.Fatalf("analyses = %d, want 1 (fixed KKT pattern)", st.Analyses)
+	}
+	if st.Refactors != uint64(r.Iterations-1) {
+		t.Fatalf("refactors = %d, want %d (one per remaining iteration)", st.Refactors, r.Iterations-1)
+	}
+	if st.Orderings != 1 {
+		t.Fatalf("orderings = %d, want 1", st.Orderings)
+	}
+	// A second solve through the same cache reuses the cached ordering.
+	if _, err := Solve(mipsExampleProblem(), la.Vector{1, 1, 1}, nil, Options{Orderings: oc}); err != nil {
+		t.Fatal(err)
+	}
+	if st := oc.Stats(); st.Orderings != 1 || st.Analyses != 2 {
+		t.Fatalf("cross-solve stats = %+v, want 1 ordering + 2 analyses", st)
+	}
+}

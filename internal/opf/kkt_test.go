@@ -1,0 +1,112 @@
+package opf
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/grid"
+	"repro/internal/sparse"
+)
+
+// TestKKTReuseMatchesFullFactorization pins the symbolic-reuse KKT path
+// against the from-scratch baseline on a real AC-OPF: same iteration
+// count, solution and cost within tight tolerance. (Not bit-identical by
+// construction: reuse freezes each solve's first-iteration pivots where
+// the baseline re-pivots every iteration.)
+func TestKKTReuseMatchesFullFactorization(t *testing.T) {
+	for _, name := range []string{"case9", "case14"} {
+		c := caseByName(t, name)
+		rReuse, err := Prepare(c).Solve(nil, Options{})
+		if err != nil {
+			t.Fatalf("%s reuse: %v", name, err)
+		}
+		rFull, err := Prepare(c).Solve(nil, Options{NoKKTReuse: true})
+		if err != nil {
+			t.Fatalf("%s full: %v", name, err)
+		}
+		if !rReuse.Converged || !rFull.Converged {
+			t.Fatalf("%s convergence: reuse=%v full=%v", name, rReuse.Converged, rFull.Converged)
+		}
+		if rReuse.Iterations != rFull.Iterations {
+			t.Fatalf("%s iterations: reuse=%d full=%d", name, rReuse.Iterations, rFull.Iterations)
+		}
+		if d := math.Abs(rReuse.Cost-rFull.Cost) / (1 + math.Abs(rFull.Cost)); d > 1e-9 {
+			t.Fatalf("%s cost differs: %v vs %v", name, rReuse.Cost, rFull.Cost)
+		}
+		if d := rReuse.X.Clone().Sub(rFull.X).NormInf(); d > 1e-7 {
+			t.Fatalf("%s solutions differ by %v", name, d)
+		}
+	}
+}
+
+func caseByName(t *testing.T, name string) *grid.Case {
+	t.Helper()
+	switch name {
+	case "case9":
+		return grid.Case9()
+	case "case14":
+		return grid.Case14()
+	}
+	t.Fatalf("unknown case %s", name)
+	return nil
+}
+
+// TestKKTCacheSharedAcrossPerturbations pins the cross-solve seam: all
+// instances derived from one Prepare share its ordering cache, so a
+// sweep computes the fill-reducing ordering once and every iteration
+// after each solve's first is a numeric refactorization.
+func TestKKTCacheSharedAcrossPerturbations(t *testing.T) {
+	base := Prepare(grid.Case9())
+	nb := base.Lay.NB
+	totalIters := 0
+	for _, s := range []float64{0.95, 1.0, 1.05} {
+		fac := make([]float64, nb)
+		for i := range fac {
+			fac[i] = s
+		}
+		r, err := base.Perturb(fac).Solve(nil, Options{})
+		if err != nil {
+			t.Fatalf("scale %v: %v", s, err)
+		}
+		totalIters += r.Iterations
+	}
+	st := base.KKTStats()
+	if st.Orderings != 1 {
+		t.Fatalf("orderings = %d, want 1 for the whole sweep", st.Orderings)
+	}
+	if st.Analyses != 3 {
+		t.Fatalf("analyses = %d, want 3 (one per solve)", st.Analyses)
+	}
+	if st.Refactors != uint64(totalIters-3) {
+		t.Fatalf("refactors = %d, want %d", st.Refactors, totalIters-3)
+	}
+	if st.Fallbacks != 0 {
+		t.Fatalf("fallbacks = %d, want 0", st.Fallbacks)
+	}
+}
+
+// TestKKTOrderingChoices: the solution must not depend on the
+// fill-reducing ordering.
+func TestKKTOrderingChoices(t *testing.T) {
+	ref, err := Prepare(grid.Case9()).Solve(nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ord := range []sparse.Ordering{sparse.OrderNatural, sparse.OrderAMD} {
+		o := Prepare(grid.Case9())
+		o.SetOrdering(ord)
+		r, err := o.Solve(nil, Options{})
+		if err != nil {
+			t.Fatalf("%v: %v", ord, err)
+		}
+		if !r.Converged {
+			t.Fatalf("%v: did not converge", ord)
+		}
+		if d := math.Abs(r.Cost-ref.Cost) / (1 + math.Abs(ref.Cost)); d > 1e-7 {
+			t.Fatalf("%v: cost %v differs from rcm %v", ord, r.Cost, ref.Cost)
+		}
+		if got := o.KKTStats().Orderings; got != 1 {
+			t.Fatalf("%v: orderings = %d, want 1", ord, got)
+		}
+	}
+}

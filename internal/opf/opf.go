@@ -82,6 +82,14 @@ type OPF struct {
 	refIdx int
 	refVa  float64
 	prep   time.Duration
+	// kkt caches the fill-reducing ordering of the KKT pattern, which is
+	// a property of the grid structure, not of the loads: every instance
+	// derived with Rebind/Perturb shares it, so one ordering analysis
+	// serves a whole sweep (and, in the serving daemon, all requests for
+	// the grid). Only the value-independent ordering is shared — each
+	// solve freezes its own pivot sequence — so derived instances may be
+	// solved in parallel with bit-identical results regardless of order.
+	kkt *sparse.OrderingCache
 }
 
 // Prepare builds the admittance matrices, bounds and constraint layout
@@ -158,10 +166,27 @@ func Prepare(c *grid.Case) *OPF {
 		xmin:   xmin, xmax: xmax,
 		refIdx: c.RefIndex(),
 		refVa:  grid.Deg2Rad(c.Buses[c.RefIndex()].Va),
+		kkt:    sparse.NewOrderingCache(sparse.OrderRCM),
 	}
 	o.prep = time.Since(t0)
 	return o
 }
+
+// SetOrdering replaces the KKT ordering cache with one using the given
+// fill-reducing ordering (the -ordering flag of cmd/pgsim). Call it on
+// the base instance before deriving with Rebind/Perturb so the derived
+// instances share the new cache; previously cached orderings and
+// counters are discarded.
+func (o *OPF) SetOrdering(ord sparse.Ordering) {
+	o.kkt = sparse.NewOrderingCache(ord)
+}
+
+// KKTStats reports the KKT reuse counters for this grid, aggregated over
+// every solve of this instance and its Rebind/Perturb derivations: how
+// many fill-reducing orderings were computed, and how many full symbolic
+// analyses, numeric refactorizations and stability fallbacks the solves'
+// KKT factorizations performed.
+func (o *OPF) KKTStats() sparse.CacheStats { return o.kkt.Stats() }
 
 // Rebind returns an OPF for c that reuses o's prepared structure — the
 // admittance matrices, rated-branch subset, bounds, layout and reference
@@ -227,6 +252,15 @@ type Options = mips.Options
 // always reports iterations and timing.
 func (o *OPF) Solve(start *Start, opt Options) (*Result, error) {
 	p := o.problem()
+	if opt.Orderings == nil && !opt.NoKKTReuse {
+		opt.Orderings = o.kkt
+	}
+	if opt.Ordering == sparse.OrderRCM {
+		// Thread the grid's configured ordering (SetOrdering) into the
+		// paths that do not read the cache — the NoKKTReuse baseline and
+		// any re-analysis mips performs without a shared cache.
+		opt.Ordering = o.kkt.Ordering()
+	}
 	var ws *mips.WarmStart
 	if start != nil {
 		ws = &mips.WarmStart{X: start.X, Lam: start.Lam, Mu: start.Mu, Z: start.Z}

@@ -104,6 +104,9 @@ func Solve(c *grid.Case, opt Options) (*Result, error) {
 	}
 
 	res := &Result{Vm: vm, Va: va}
+	// The Jacobian pattern is fixed across Newton iterations (it mirrors
+	// the Ybus structure), so one symbolic analysis serves the whole solve.
+	jacCache := sparse.NewSymbolicCache(sparse.OrderRCM, 1.0)
 	for iter := 0; iter <= opt.MaxIter; iter++ {
 		v := grid.Voltage(vm, va)
 		mis := grid.PowerMismatch(y, v, sbus)
@@ -148,7 +151,7 @@ func Solve(c *grid.Case, opt Options) (*Result, error) {
 		appendBlock(dVm, false, posA, 0, posM, npv)  // dP/dVm
 		appendBlock(dVa, true, posM, npv, posA, 0)   // dQ/dVa
 		appendBlock(dVm, true, posM, npv, posM, npv) // dQ/dVm
-		dx, err := sparse.SolveLU(jb.ToCSC(), f)
+		dx, err := jacCache.SolveRefactored(jb.ToCSC(), f)
 		if err != nil {
 			return res, fmt.Errorf("pf: singular Jacobian at iteration %d: %w", iter, err)
 		}

@@ -7,6 +7,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"repro/internal/sparse"
 )
 
 // latencyBuckets are the histogram upper bounds for solve latency in
@@ -137,9 +139,15 @@ func (m *metrics) observeBatchSize(n int) {
 	m.batches.observe(float64(n))
 }
 
+// kktStat is one grid's symbolic-cache snapshot for /metrics.
+type kktStat struct {
+	system string
+	stats  sparse.CacheStats
+}
+
 // render writes every metric in Prometheus text exposition format, with
 // deterministic (sorted) label ordering.
-func (m *metrics) render(w io.Writer, queueDepth int) {
+func (m *metrics) render(w io.Writer, queueDepth int, kkt []kktStat) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 
@@ -183,6 +191,22 @@ func (m *metrics) render(w io.Writer, queueDepth int) {
 	fmt.Fprintln(w, "# HELP pgsimd_batch_size Requests coalesced per micro-batch.")
 	fmt.Fprintln(w, "# TYPE pgsimd_batch_size histogram")
 	m.batches.render(w, "pgsimd_batch_size", "")
+
+	fmt.Fprintln(w, "# HELP pgsimd_kkt_symbolic_analyses_total Full KKT factorizations (ordering + pattern analysis + pivoting) per grid.")
+	fmt.Fprintln(w, "# TYPE pgsimd_kkt_symbolic_analyses_total counter")
+	for _, k := range kkt {
+		fmt.Fprintf(w, "pgsimd_kkt_symbolic_analyses_total{system=%q} %d\n", k.system, k.stats.Analyses)
+	}
+	fmt.Fprintln(w, "# HELP pgsimd_kkt_numeric_refactors_total Numeric-only KKT refactorizations on the cached symbolic analysis per grid.")
+	fmt.Fprintln(w, "# TYPE pgsimd_kkt_numeric_refactors_total counter")
+	for _, k := range kkt {
+		fmt.Fprintf(w, "pgsimd_kkt_numeric_refactors_total{system=%q} %d\n", k.system, k.stats.Refactors)
+	}
+	fmt.Fprintln(w, "# HELP pgsimd_kkt_refactor_fallbacks_total Refactorizations abandoned for stability and replaced by a fresh analysis per grid.")
+	fmt.Fprintln(w, "# TYPE pgsimd_kkt_refactor_fallbacks_total counter")
+	for _, k := range kkt {
+		fmt.Fprintf(w, "pgsimd_kkt_refactor_fallbacks_total{system=%q} %d\n", k.system, k.stats.Fallbacks)
+	}
 
 	fmt.Fprintln(w, "# HELP pgsimd_queue_depth Requests waiting for the dispatcher.")
 	fmt.Fprintln(w, "# TYPE pgsimd_queue_depth gauge")

@@ -247,8 +247,20 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	s.met.render(w, len(s.queue))
+	s.met.render(w, len(s.queue), s.kktStats())
 	s.met.recordRequest("/metrics", http.StatusOK)
+}
+
+// kktStats snapshots every registered grid's KKT symbolic-cache counters
+// in registration order. The caches live on the prepared OPF structures,
+// so the counters cover all solves of the grid — warm, cold and
+// fallback — across all requests since the system was registered.
+func (s *Server) kktStats() []kktStat {
+	out := make([]kktStat, 0, len(s.names))
+	for _, name := range s.names {
+		out = append(out, kktStat{system: name, stats: s.systems[name].sys.OPF.KKTStats()})
+	}
+	return out
 }
 
 func (s *Server) writeJSON(w http.ResponseWriter, code int, v any) {

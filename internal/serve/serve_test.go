@@ -380,10 +380,23 @@ func TestSystemsHealthMetrics(t *testing.T) {
 		"pgsimd_batch_size_count 1",
 		"pgsimd_queue_depth 0",
 		`pgsimd_http_requests_total{endpoint="/v1/solve",code="200"} 1`,
+		`pgsimd_kkt_symbolic_analyses_total{system="case9"}`,
+		`pgsimd_kkt_numeric_refactors_total{system="case9"}`,
+		`pgsimd_kkt_refactor_fallbacks_total{system="case9"}`,
 	} {
 		if !strings.Contains(met, want) {
 			t.Fatalf("metrics missing %q:\n%s", want, met)
 		}
+	}
+	// The solve above ran several interior-point iterations; all but the
+	// first factorization of each solve must have been numeric refactors
+	// on the grid's cached pattern.
+	st := sys.OPF.KKTStats()
+	if st.Refactors == 0 || st.Analyses == 0 || st.Orderings == 0 {
+		t.Fatalf("kkt stats not aggregated: %+v", st)
+	}
+	if st.Refactors < st.Analyses {
+		t.Fatalf("expected refactors to dominate analyses: %+v", st)
 	}
 }
 

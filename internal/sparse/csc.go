@@ -6,6 +6,19 @@
 // the same layout. All constructors go through a coordinate (triplet)
 // Builder so duplicate entries sum, which makes assembling Jacobians,
 // Hessians and admittance matrices a sequence of Append calls.
+//
+// The LU factorization is left-looking Gilbert–Peierls with threshold
+// partial pivoting and a fill-reducing pre-ordering (reverse
+// Cuthill–McKee by default, approximate minimum degree as OrderAMD). It
+// is split into a symbolic phase and a numeric phase for the hot paths
+// that factor many matrices with one sparsity pattern — interior-point
+// KKT systems, Newton Jacobians: Analyze freezes the ordering, pivot
+// sequence and L/U patterns into a Symbolic, and Symbolic.Refactor
+// recomputes values only. SymbolicCache automates the
+// analyze-once/refactor-after pattern for a sequential solve;
+// OrderingCache shares the value-independent ordering across concurrent
+// solves of one grid without coupling their numerics. DESIGN.md §7
+// documents the design, PERFORMANCE.md the measured effect.
 package sparse
 
 import (

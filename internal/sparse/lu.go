@@ -10,18 +10,6 @@ import (
 // ErrSingular is returned when sparse LU meets a zero pivot column.
 var ErrSingular = errors.New("sparse: matrix is singular to working precision")
 
-// Ordering selects the fill-reducing column/row pre-ordering for LU.
-type Ordering int
-
-const (
-	// OrderNatural factors the matrix as given.
-	OrderNatural Ordering = iota
-	// OrderRCM applies reverse Cuthill–McKee on the pattern of A+Aᵀ,
-	// reducing bandwidth (and with it fill) on the mesh-like matrices that
-	// arise from power networks and their KKT systems.
-	OrderRCM
-)
-
 // LUFactors holds a sparse LU factorization P·A·Q = L·U produced by
 // FactorizeOpts, where P comes from partial pivoting and Q from the
 // fill-reducing ordering.
@@ -51,20 +39,26 @@ func FactorizeOpts(a *CSC, ord Ordering, tol float64) (*LUFactors, error) {
 	if a.NRows != a.NCols {
 		panic("sparse: Factorize of non-square matrix")
 	}
+	return FactorizePerm(a, permFor(a, ord), tol)
+}
+
+// FactorizePerm factorizes with an explicit column pre-ordering q (a
+// permutation of 0..n-1, as produced by an OrderingCache or permFor),
+// skipping the ordering computation. Same pivoting semantics as
+// FactorizeOpts.
+func FactorizePerm(a *CSC, q []int, tol float64) (*LUFactors, error) {
+	if a.NRows != a.NCols {
+		panic("sparse: Factorize of non-square matrix")
+	}
+	if len(q) != a.NCols {
+		panic("sparse: ordering length mismatch")
+	}
 	if tol <= 0 || tol > 1 {
 		panic("sparse: pivot tolerance must be in (0,1]")
 	}
 	n := a.NRows
 	f := &LUFactors{n: n, pivotTolND: tol}
-	switch ord {
-	case OrderRCM:
-		f.q = rcmOrder(a)
-	default:
-		f.q = make([]int, n)
-		for i := range f.q {
-			f.q[i] = i
-		}
-	}
+	f.q = q
 	f.pinv = make([]int, n)
 	for i := range f.pinv {
 		f.pinv[i] = -1
@@ -260,77 +254,4 @@ func SolveLU(a *CSC, b la.Vector) (la.Vector, error) {
 		return nil, err
 	}
 	return f.Solve(b), nil
-}
-
-// rcmOrder computes a reverse Cuthill–McKee ordering on the symmetrized
-// pattern of a. The returned slice q lists original column indices in
-// their new order.
-func rcmOrder(a *CSC) []int {
-	n := a.NRows
-	// Build symmetric adjacency (pattern of A+Aᵀ, no self loops).
-	adj := make([][]int, n)
-	seen := make(map[[2]int]struct{}, a.NNZ()*2)
-	addEdge := func(i, j int) {
-		if i == j {
-			return
-		}
-		k := [2]int{i, j}
-		if _, ok := seen[k]; ok {
-			return
-		}
-		seen[k] = struct{}{}
-		adj[i] = append(adj[i], j)
-	}
-	for j := 0; j < a.NCols; j++ {
-		for p := a.ColPtr[j]; p < a.ColPtr[j+1]; p++ {
-			i := a.RowIdx[p]
-			addEdge(i, j)
-			addEdge(j, i)
-		}
-	}
-	deg := make([]int, n)
-	for i := range adj {
-		deg[i] = len(adj[i])
-	}
-	visited := make([]bool, n)
-	order := make([]int, 0, n)
-	queue := make([]int, 0, n)
-	for {
-		// Find the unvisited node of minimum degree as the next BFS root.
-		root := -1
-		for i := 0; i < n; i++ {
-			if !visited[i] && (root == -1 || deg[i] < deg[root]) {
-				root = i
-			}
-		}
-		if root == -1 {
-			break
-		}
-		visited[root] = true
-		queue = append(queue[:0], root)
-		for len(queue) > 0 {
-			v := queue[0]
-			queue = queue[1:]
-			order = append(order, v)
-			// Append unvisited neighbours in increasing-degree order.
-			nbrs := make([]int, 0, len(adj[v]))
-			for _, w := range adj[v] {
-				if !visited[w] {
-					visited[w] = true
-					nbrs = append(nbrs, w)
-				}
-			}
-			for i := 1; i < len(nbrs); i++ {
-				for j := i; j > 0 && deg[nbrs[j]] < deg[nbrs[j-1]]; j-- {
-					nbrs[j], nbrs[j-1] = nbrs[j-1], nbrs[j]
-				}
-			}
-			queue = append(queue, nbrs...)
-		}
-	}
-	// Reverse for RCM.
-	for i, j := 0, len(order)-1; i < j; i, j = i+1, j-1 {
-		order[i], order[j] = order[j], order[i]
-	}
-	return order
 }

@@ -1,0 +1,414 @@
+package sparse
+
+import (
+	"errors"
+	"math"
+	"sync"
+
+	"repro/internal/la"
+)
+
+// ErrPatternChanged is returned by Refactor when the matrix does not have
+// the sparsity pattern the Symbolic was analyzed for.
+var ErrPatternChanged = errors.New("sparse: matrix pattern differs from the analyzed pattern")
+
+// ErrRefactorUnstable is returned by Refactor when a frozen pivot has
+// decayed below the stability floor for the new numeric values. The
+// pattern is still valid; callers should fall back to a fresh Analyze,
+// which re-picks pivots (SymbolicCache does this automatically).
+var ErrRefactorUnstable = errors.New("sparse: frozen pivot sequence unstable for these values")
+
+// refactorPivotFloor is the minimum acceptable ratio of a frozen pivot's
+// magnitude to the largest candidate in its column. A fresh threshold
+// factorization guarantees ratio ≥ tol; refactorization accepts decay
+// down to this floor before declaring the pivot sequence stale.
+const refactorPivotFloor = 1e-10
+
+// pattern is a stored sparsity pattern for exact match checks.
+type pattern struct {
+	n      int
+	colPtr []int
+	rowIdx []int
+}
+
+func patternOf(a *CSC) pattern {
+	return pattern{
+		n:      a.NRows,
+		colPtr: append([]int(nil), a.ColPtr...),
+		rowIdx: append([]int(nil), a.RowIdx...),
+	}
+}
+
+// matches reports whether a has exactly this pattern. O(nnz) integer
+// comparison — negligible next to a factorization.
+func (pt *pattern) matches(a *CSC) bool {
+	if a.NRows != pt.n || a.NCols != pt.n || len(a.RowIdx) != len(pt.rowIdx) {
+		return false
+	}
+	for i, v := range a.ColPtr {
+		if pt.colPtr[i] != v {
+			return false
+		}
+	}
+	for i, v := range a.RowIdx {
+		if pt.rowIdx[i] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// Symbolic is the reusable, value-independent-in-structure part of a
+// sparse LU: the fill-reducing column ordering, the row-pivot sequence
+// frozen by the analyzing factorization, and the exact nonzero patterns
+// of L and U (each U column stored in a valid elimination order). It is
+// immutable after Analyze and safe to share; Refactor redoes only the
+// numeric work — no ordering, no DFS, no pivot search, no index
+// allocation — which is what makes the per-iteration KKT solve cheap.
+//
+// Because the pivot sequence was chosen for the analyzed matrix's
+// values, reusing a Symbolic across solves makes results depend on which
+// matrix was analyzed first. Deterministic callers therefore reuse a
+// Symbolic only within one solve (mips does this per interior-point
+// solve) and share the value-independent ordering across solves through
+// an OrderingCache.
+type Symbolic struct {
+	n       int
+	q, pinv []int
+	lp, up  []int
+	li, ui  []int // row indices in pivot coordinates
+	tol     float64
+	pat     pattern
+}
+
+// Analyze computes a full LU factorization of a and extracts its symbolic
+// skeleton for reuse. The returned factors are exactly those of
+// FactorizeOpts(a, ord, tol); the Symbolic shares their index structure.
+func Analyze(a *CSC, ord Ordering, tol float64) (*Symbolic, *LUFactors, error) {
+	return AnalyzePerm(a, permFor(a, ord), tol)
+}
+
+// AnalyzePerm is Analyze with an explicit column pre-ordering (see
+// FactorizePerm).
+func AnalyzePerm(a *CSC, q []int, tol float64) (*Symbolic, *LUFactors, error) {
+	f, err := FactorizePerm(a, q, tol)
+	if err != nil {
+		return nil, nil, err
+	}
+	s := &Symbolic{
+		n: f.n, q: f.q, pinv: f.pinv,
+		lp: f.lp, up: f.up, li: f.li, ui: f.ui,
+		tol: tol,
+		pat: patternOf(a),
+	}
+	return s, f, nil
+}
+
+// PatternMatches reports whether a has exactly the sparsity pattern this
+// Symbolic was analyzed for.
+func (s *Symbolic) PatternMatches(a *CSC) bool { return s.pat.matches(a) }
+
+// N returns the matrix dimension the Symbolic was analyzed for.
+func (s *Symbolic) N() int { return s.n }
+
+// NNZ returns the fill of the analyzed factorization: total stored
+// entries of L and U.
+func (s *Symbolic) NNZ() int { return len(s.li) + len(s.ui) }
+
+// Refactor computes a numeric LU of a on the frozen symbolic structure:
+// same ordering, same pivot sequence, same L/U patterns, values
+// recomputed for a. It is the hot half of the symbolic/numeric split —
+// a single left-looking sweep with no graph traversal and no pivot
+// search. Refactoring the analyzed matrix itself reproduces the
+// analyzing factorization bit for bit.
+//
+// Returns ErrPatternChanged if a's pattern differs from the analyzed
+// one, and ErrRefactorUnstable (or ErrSingular) when the frozen pivots
+// are no longer numerically acceptable for a's values; both are cues to
+// re-Analyze.
+func (s *Symbolic) Refactor(a *CSC) (*LUFactors, error) {
+	if !s.PatternMatches(a) {
+		return nil, ErrPatternChanged
+	}
+	n := s.n
+	f := &LUFactors{
+		n: n, q: s.q, pinv: s.pinv,
+		lp: s.lp, up: s.up, li: s.li, ui: s.ui,
+		lx: make([]float64, len(s.li)), ux: make([]float64, len(s.ui)),
+		lnzTotal:   len(s.li) + len(s.ui),
+		pivotTolND: s.tol,
+	}
+	x := make([]float64, n) // dense accumulator in pivot coordinates
+	for k := 0; k < n; k++ {
+		col := s.q[k]
+		for p := a.ColPtr[col]; p < a.ColPtr[col+1]; p++ {
+			x[s.pinv[a.RowIdx[p]]] = a.Val[p]
+		}
+		// Eliminate in the recorded order: the U column's stored sequence
+		// is the topological order the analysis used, so every x[j] is
+		// final when consumed. The diagonal is the column's last entry.
+		d := s.up[k+1] - 1
+		for p := s.up[k]; p < d; p++ {
+			j := s.ui[p]
+			xj := x[j]
+			f.ux[p] = xj
+			x[j] = 0
+			if xj == 0 {
+				continue
+			}
+			for pl := s.lp[j] + 1; pl < s.lp[j+1]; pl++ {
+				x[s.li[pl]] -= f.lx[pl] * xj
+			}
+		}
+		pivot := x[k]
+		x[k] = 0
+		apiv := math.Abs(pivot)
+		amax := apiv
+		for p := s.lp[k] + 1; p < s.lp[k+1]; p++ {
+			if t := math.Abs(x[s.li[p]]); t > amax {
+				amax = t
+			}
+		}
+		if pivot == 0 || math.IsNaN(pivot) || amax == 0 {
+			return nil, ErrSingular
+		}
+		if apiv < refactorPivotFloor*amax {
+			return nil, ErrRefactorUnstable
+		}
+		f.ux[d] = pivot
+		f.lx[s.lp[k]] = 1
+		for p := s.lp[k] + 1; p < s.lp[k+1]; p++ {
+			i := s.li[p]
+			f.lx[p] = x[i] / pivot
+			x[i] = 0
+		}
+	}
+	return f, nil
+}
+
+// CacheStats counts symbolic-reuse work. Refactors/(Analyses+Refactors)
+// is the reuse rate; Fallbacks counts refactorizations abandoned for
+// numerical reasons and replaced by a fresh analysis; Orderings counts
+// fill-reducing orderings computed (cache misses in an OrderingCache).
+type CacheStats struct {
+	Analyses  uint64 // full factorizations (pattern analysis + pivoting)
+	Refactors uint64 // numeric-only refactorizations on a cached pattern
+	Fallbacks uint64 // refactor attempts that had to re-analyze
+	Orderings uint64 // fill-reducing orderings computed from scratch
+}
+
+// add accumulates o into s.
+func (s *CacheStats) add(o CacheStats) {
+	s.Analyses += o.Analyses
+	s.Refactors += o.Refactors
+	s.Fallbacks += o.Fallbacks
+	s.Orderings += o.Orderings
+}
+
+// symbolicCacheCap bounds how many distinct patterns one cache retains.
+// The KKT loop needs at most two (the plain pattern and its Tikhonov-
+// regularized variant); a little headroom covers callers that interleave
+// a few structures through one cache.
+const symbolicCacheCap = 4
+
+// SymbolicCache amortizes symbolic LU analysis across a sequential
+// stream of factorizations that share sparsity patterns — the
+// interior-point KKT systems of one solve, or one Newton solve's
+// Jacobians. Factorize analyzes on first sight of a pattern, then
+// numerically refactorizes every subsequent matrix with that pattern,
+// re-analyzing automatically if the frozen pivot sequence goes stale.
+//
+// Because the frozen pivots come from the first matrix seen, results
+// depend (in the last floating-point bits) on the stream's history; use
+// one SymbolicCache per solve and share only an OrderingCache across
+// solves to keep solver output independent of request order — the
+// serving daemon and the parallel sweeps rely on that.
+type SymbolicCache struct {
+	ord Ordering
+	oc  *OrderingCache // optional source of cached orderings
+	tol float64
+
+	mu    sync.Mutex
+	syms  []*Symbolic // most recently used first
+	stats CacheStats
+}
+
+// NewSymbolicCache returns an empty cache that analyzes new patterns
+// with the given ordering and pivot threshold (see FactorizeOpts).
+func NewSymbolicCache(ord Ordering, tol float64) *SymbolicCache {
+	return &SymbolicCache{ord: ord, tol: tol}
+}
+
+// NewSymbolicCacheFrom returns a cache that sources fill-reducing
+// orderings from oc (computing and caching them there on first sight of
+// a pattern) — the seam that lets many per-solve SymbolicCaches share
+// one per-grid ordering analysis.
+func NewSymbolicCacheFrom(oc *OrderingCache, tol float64) *SymbolicCache {
+	return &SymbolicCache{ord: oc.Ordering(), oc: oc, tol: tol}
+}
+
+// Ordering returns the fill-reducing ordering the cache analyzes with.
+func (c *SymbolicCache) Ordering() Ordering { return c.ord }
+
+// Stats returns a snapshot of the cache counters.
+func (c *SymbolicCache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Factorize returns an LU of a, refactorizing on a cached symbolic
+// analysis when a's pattern has been seen before and analyzing it
+// otherwise.
+func (c *SymbolicCache) Factorize(a *CSC) (*LUFactors, error) {
+	c.mu.Lock()
+	var sym *Symbolic
+	for i, s := range c.syms {
+		if s.PatternMatches(a) {
+			sym = s
+			copy(c.syms[1:i+1], c.syms[:i])
+			c.syms[0] = sym
+			break
+		}
+	}
+	c.mu.Unlock()
+	if sym != nil {
+		f, err := sym.Refactor(a)
+		if err == nil {
+			c.mu.Lock()
+			c.stats.Refactors++
+			c.mu.Unlock()
+			return f, nil
+		}
+		// Frozen pivots went stale (or the matrix is numerically
+		// singular): re-analyze with fresh pivoting.
+		c.mu.Lock()
+		c.stats.Fallbacks++
+		c.mu.Unlock()
+	}
+	var q []int
+	if c.oc != nil {
+		q = c.oc.Perm(a)
+	} else {
+		q = permFor(a, c.ord)
+	}
+	sym2, f, err := AnalyzePerm(a, q, c.tol)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	c.stats.Analyses++
+	if c.oc == nil {
+		c.stats.Orderings++
+	}
+	// Replace the stale entry for this pattern if one exists, else insert
+	// in MRU position, evicting the oldest beyond the cap.
+	replaced := false
+	for i, s := range c.syms {
+		if s.PatternMatches(a) {
+			copy(c.syms[1:i+1], c.syms[:i])
+			c.syms[0] = sym2
+			replaced = true
+			break
+		}
+	}
+	if !replaced {
+		c.syms = append(c.syms, nil)
+		copy(c.syms[1:], c.syms)
+		c.syms[0] = sym2
+		if len(c.syms) > symbolicCacheCap {
+			c.syms = c.syms[:symbolicCacheCap]
+		}
+	}
+	c.mu.Unlock()
+	return f, nil
+}
+
+// SolveRefactored is a convenience for the common refactor-and-solve
+// step: factorize a through the cache and solve for b.
+func (c *SymbolicCache) SolveRefactored(a *CSC, b la.Vector) (la.Vector, error) {
+	f, err := c.Factorize(a)
+	if err != nil {
+		return nil, err
+	}
+	return f.Solve(b), nil
+}
+
+// OrderingCache memoizes fill-reducing orderings per sparsity pattern
+// and aggregates solve-level reuse statistics. An ordering is a function
+// of the pattern alone, so sharing this cache across concurrent solves,
+// batch sweeps and serve requests is deterministic: unlike frozen pivot
+// sequences, a cached permutation cannot make one request's numerics
+// depend on another's values. This is the per-grid object opf.Prepare
+// creates and Rebind/Perturb derivations share.
+type OrderingCache struct {
+	ord Ordering
+
+	mu    sync.Mutex
+	perms []*permEntry // most recently used first
+	stats CacheStats
+}
+
+type permEntry struct {
+	pat pattern
+	q   []int
+}
+
+// NewOrderingCache returns an empty cache computing ord orderings.
+func NewOrderingCache(ord Ordering) *OrderingCache {
+	return &OrderingCache{ord: ord}
+}
+
+// Ordering returns the fill-reducing ordering the cache computes.
+func (c *OrderingCache) Ordering() Ordering { return c.ord }
+
+// Perm returns the cached column ordering for a's pattern, computing and
+// caching it on first sight. The returned slice is shared: callers must
+// not modify it.
+func (c *OrderingCache) Perm(a *CSC) []int {
+	c.mu.Lock()
+	for i, e := range c.perms {
+		if e.pat.matches(a) {
+			copy(c.perms[1:i+1], c.perms[:i])
+			c.perms[0] = e
+			c.mu.Unlock()
+			return e.q
+		}
+	}
+	c.mu.Unlock()
+	q := permFor(a, c.ord)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.stats.Orderings++
+	// A racing goroutine may have inserted the same pattern meanwhile;
+	// its permutation is identical (pure function of the pattern), so
+	// inserting a duplicate only wastes a slot — check again.
+	for _, e := range c.perms {
+		if e.pat.matches(a) {
+			return e.q
+		}
+	}
+	c.perms = append(c.perms, nil)
+	copy(c.perms[1:], c.perms)
+	c.perms[0] = &permEntry{pat: patternOf(a), q: q}
+	if len(c.perms) > symbolicCacheCap {
+		c.perms = c.perms[:symbolicCacheCap]
+	}
+	return q
+}
+
+// AddSolveStats folds one solve's SymbolicCache counters into the
+// aggregate (mips calls this when a solve finishes).
+func (c *OrderingCache) AddSolveStats(s CacheStats) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.stats.add(s)
+}
+
+// Stats returns the aggregated counters: orderings computed here plus
+// the analysis/refactor counts of every solve that reported in.
+func (c *OrderingCache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}

@@ -1,0 +1,325 @@
+package sparse
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/la"
+)
+
+// randPatternPair builds two matrices with an identical sparsity pattern
+// (same structural entries, duplicates included) but independent values.
+func randPatternPair(r *rand.Rand, n int) (*CSC, *CSC) {
+	type pos struct{ i, j int }
+	var ps []pos
+	for i := 0; i < n; i++ {
+		ps = append(ps, pos{i, i})
+		for k := 0; k < 3; k++ {
+			ps = append(ps, pos{i, r.Intn(n)})
+		}
+	}
+	build := func() *CSC {
+		b := NewBuilder(n, n)
+		for _, p := range ps {
+			v := r.NormFloat64()
+			if p.i == p.j {
+				v = 5 + r.Float64()*5 // keep both diagonally dominant
+			}
+			b.Append(p.i, p.j, v)
+		}
+		return b.ToCSC()
+	}
+	return build(), build()
+}
+
+// Refactoring the analyzed matrix itself must reproduce the analyzing
+// factorization bit for bit: same elimination sequence, same arithmetic.
+func TestRefactorSameMatrixBitIdentical(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 10; trial++ {
+		n := 5 + r.Intn(40)
+		a, _ := randSparseSystem(r, n)
+		sym, f0, err := Analyze(a, OrderRCM, 1.0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f1, err := sym.Refactor(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rhs := make(la.Vector, n)
+		for i := range rhs {
+			rhs[i] = r.NormFloat64()
+		}
+		x0, x1 := f0.Solve(rhs), f1.Solve(rhs)
+		for i := range x0 {
+			if x0[i] != x1[i] {
+				t.Fatalf("trial %d: refactor solve differs at %d: %v != %v", trial, i, x0[i], x1[i])
+			}
+		}
+	}
+}
+
+// The symbolic-reuse path on new numeric values must agree with the
+// dense reference solver: analyze one matrix, refactor a second with the
+// same pattern, and check the refactored solve against la.Solve.
+func TestRefactorAgainstDenseReference(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 3 + r.Intn(50)
+		a1, a2 := randPatternPair(r, n)
+		for _, ord := range []Ordering{OrderNatural, OrderRCM, OrderAMD} {
+			sym, _, err := Analyze(a1, ord, 1.0)
+			if err != nil {
+				return false
+			}
+			fac, err := sym.Refactor(a2)
+			if err != nil {
+				return false
+			}
+			rhs := make(la.Vector, n)
+			for i := range rhs {
+				rhs[i] = r.NormFloat64()
+			}
+			xs := fac.Solve(rhs)
+			xd, err := la.Solve(a2.ToDense(), rhs)
+			if err != nil {
+				return false
+			}
+			if xs.Clone().Sub(xd).NormInf() > 1e-8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRefactorRejectsPatternChange(t *testing.T) {
+	b := NewBuilder(2, 2)
+	b.Append(0, 0, 2)
+	b.Append(1, 1, 3)
+	sym, _, err := Analyze(b.ToCSC(), OrderNatural, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2 := NewBuilder(2, 2)
+	b2.Append(0, 0, 2)
+	b2.Append(1, 0, 1)
+	b2.Append(1, 1, 3)
+	if _, err := sym.Refactor(b2.ToCSC()); err != ErrPatternChanged {
+		t.Fatalf("want ErrPatternChanged, got %v", err)
+	}
+}
+
+// Property: every ordering yields a valid permutation of the columns, and
+// a factorization under it solves the system (round trip through the
+// permutation and its inverse application in Solve).
+func TestOrderingPermutationRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(50)
+		a, x := randSparseSystem(r, n)
+		rhs := a.MulVec(x)
+		for _, ord := range []Ordering{OrderNatural, OrderRCM, OrderAMD} {
+			q := permFor(a, ord)
+			if len(q) != n {
+				return false
+			}
+			seen := make([]bool, n)
+			for _, v := range q {
+				if v < 0 || v >= n || seen[v] {
+					return false
+				}
+				seen[v] = true
+			}
+			fac, err := FactorizePerm(a, q, 1.0)
+			if err != nil {
+				return false
+			}
+			if fac.Solve(rhs).Sub(x).NormInf() > 1e-8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAMDReducesFill(t *testing.T) {
+	// A randomly permuted 2D Laplacian: minimum degree should produce
+	// far less fill than the natural order of the shuffled matrix.
+	side := 12
+	n := side * side
+	r := rand.New(rand.NewSource(9))
+	perm := r.Perm(n)
+	b := NewBuilder(n, n)
+	at := func(i, j int) int { return perm[i*side+j] }
+	for i := 0; i < side; i++ {
+		for j := 0; j < side; j++ {
+			b.Append(at(i, j), at(i, j), 4)
+			if i+1 < side {
+				b.Append(at(i, j), at(i+1, j), -1)
+				b.Append(at(i+1, j), at(i, j), -1)
+			}
+			if j+1 < side {
+				b.Append(at(i, j), at(i, j+1), -1)
+				b.Append(at(i, j+1), at(i, j), -1)
+			}
+		}
+	}
+	a := b.ToCSC()
+	fn, err := FactorizeOpts(a, OrderNatural, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fa, err := FactorizeOpts(a, OrderAMD, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fa.NNZ() >= fn.NNZ() {
+		t.Fatalf("AMD fill %d >= natural fill %d", fa.NNZ(), fn.NNZ())
+	}
+}
+
+func TestSymbolicCacheReuseAndStats(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	a1, a2 := randPatternPair(r, 30)
+	c := NewSymbolicCache(OrderRCM, 1.0)
+	for _, m := range []*CSC{a1, a2, a1} {
+		if _, err := c.Factorize(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := c.Stats()
+	if st.Analyses != 1 || st.Refactors != 2 || st.Fallbacks != 0 {
+		t.Fatalf("stats = %+v, want 1 analysis + 2 refactors", st)
+	}
+	// A different pattern triggers a second analysis but keeps the first.
+	b, _ := randSparseSystem(r, 31)
+	if _, err := c.Factorize(b); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Factorize(a2); err != nil {
+		t.Fatal(err)
+	}
+	st = c.Stats()
+	if st.Analyses != 2 || st.Refactors != 3 {
+		t.Fatalf("stats = %+v, want 2 analyses + 3 refactors", st)
+	}
+}
+
+// When new values make a frozen pivot collapse, the cache must notice
+// and fall back to a fresh analysis that re-picks pivots — and still
+// return a correct factorization.
+func TestSymbolicCacheUnstableFallback(t *testing.T) {
+	build := func(d float64) *CSC {
+		b := NewBuilder(2, 2)
+		b.Append(0, 0, d)
+		b.Append(0, 1, 1)
+		b.Append(1, 0, 1)
+		b.Append(1, 1, d)
+		return b.ToCSC()
+	}
+	c := NewSymbolicCache(OrderNatural, 1.0)
+	if _, err := c.Factorize(build(2)); err != nil { // freezes diagonal pivots
+		t.Fatal(err)
+	}
+	weak := build(1e-14) // frozen (0,0) pivot is 1e-14 vs candidate 1
+	fac, err := c.Factorize(weak)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := fac.Solve(la.Vector{1, 2})
+	res := weak.MulVec(x).Sub(la.Vector{1, 2})
+	if res.NormInf() > 1e-9 {
+		t.Fatalf("fallback solve residual %v", res.NormInf())
+	}
+	st := c.Stats()
+	if st.Fallbacks != 1 || st.Analyses != 2 {
+		t.Fatalf("stats = %+v, want 1 fallback + 2 analyses", st)
+	}
+}
+
+func TestSymbolicCacheSingular(t *testing.T) {
+	b := NewBuilder(2, 2)
+	b.Append(0, 0, 1)
+	b.Append(0, 1, 2)
+	b.Append(1, 0, 2)
+	b.Append(1, 1, 4) // rank 1
+	c := NewSymbolicCache(OrderRCM, 1.0)
+	if _, err := c.Factorize(b.ToCSC()); err == nil {
+		t.Fatal("expected singular error")
+	}
+}
+
+func TestOrderingCachePermsAndAggregation(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	a1, a2 := randPatternPair(r, 25)
+	oc := NewOrderingCache(OrderAMD)
+	q1 := oc.Perm(a1)
+	q2 := oc.Perm(a2) // same pattern -> same cached slice
+	if &q1[0] != &q2[0] {
+		t.Fatal("same pattern should return the cached permutation")
+	}
+	if got := oc.Stats().Orderings; got != 1 {
+		t.Fatalf("orderings = %d, want 1", got)
+	}
+	// A per-solve cache wired to oc uses and charges it for orderings.
+	sc := NewSymbolicCacheFrom(oc, 1.0)
+	if sc.Ordering() != OrderAMD {
+		t.Fatalf("ordering = %v", sc.Ordering())
+	}
+	for _, m := range []*CSC{a1, a2, a2} {
+		if _, err := sc.Factorize(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	oc.AddSolveStats(sc.Stats())
+	st := oc.Stats()
+	if st.Analyses != 1 || st.Refactors != 2 || st.Orderings != 1 {
+		t.Fatalf("aggregated stats = %+v", st)
+	}
+}
+
+func TestParseOrderingRoundTrip(t *testing.T) {
+	for _, ord := range []Ordering{OrderNatural, OrderRCM, OrderAMD} {
+		got, err := ParseOrdering(ord.String())
+		if err != nil || got != ord {
+			t.Fatalf("round trip %v: got %v, err %v", ord, got, err)
+		}
+	}
+	if _, err := ParseOrdering("colamd"); err == nil {
+		t.Fatal("expected error for unknown ordering")
+	}
+	if OrderRCM != 0 {
+		t.Fatal("OrderRCM must stay the zero value: it is the default ordering of zero-valued Options")
+	}
+}
+
+func TestRefactorSingularValues(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	a, _ := randSparseSystem(r, 12)
+	sym, _, err := Analyze(a, OrderRCM, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zero := a.Clone()
+	for i := range zero.Val {
+		zero.Val[i] = 0
+	}
+	if _, err := sym.Refactor(zero); err == nil {
+		t.Fatal("expected singular error for all-zero values")
+	}
+	nan := a.Clone()
+	nan.Val[0] = math.NaN()
+	if _, err := sym.Refactor(nan); err == nil {
+		t.Fatal("expected error for NaN values")
+	}
+}
