@@ -1,0 +1,262 @@
+// Command scopf runs security-constrained OPF contingency screening: a
+// tree of load draws × N-1 branch outages, each an independent AC-OPF,
+// screened on the topology-aware engine (one prepared problem structure
+// per outage topology, warm starts projected onto contingency layouts,
+// scenarios fanned out on the parallel worker pool). With -naive it runs
+// the per-scenario-rebuild reference path instead — the baseline the
+// engine is benchmarked against.
+//
+// Usage:
+//
+//	scopf -case case30 -draws 8
+//	scopf -case case9 -draws 4 -train 60 -epochs 150     # warm-start screening
+//	scopf -case case14 -contingencies 0,3,7 -workers 8
+//	scopf -case case30 -draws 16 -json > screen.json
+//	scopf -case case14 -draws 8 -naive                   # reference baseline
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/batch"
+	"repro/internal/casegen"
+	"repro/internal/core"
+	"repro/internal/la"
+	"repro/internal/mtl"
+	"repro/internal/opf"
+	"repro/internal/scopf"
+	"repro/internal/sparse"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("scopf: ")
+	caseName := flag.String("case", "case9", "built-in system (case5, case9, case14, case30, case39, case57, case118, case300)")
+	nDraws := flag.Int("draws", 4, "number of load draws to cross with the contingencies")
+	seed := flag.Int64("seed", 1, "load-draw sampling seed")
+	spread := flag.Float64("spread", 0.1, "half-width of the load band (0.1 = the paper's ±10 %)")
+	contingencies := flag.String("contingencies", "all", "branch outages to screen: all (connected N-1 set), none, or a comma-separated index list")
+	skipIntact := flag.Bool("skip-intact", false, "drop the no-outage scenario of each draw")
+	trainN := flag.Int("train", 0, "train a warm-start model on this many intact-system samples first (0 = cold screening)")
+	epochs := flag.Int("epochs", 150, "training epochs for -train")
+	variantName := flag.String("variant", "mtl", "model variant for -train: sep, mtl or smartpgsim")
+	workers := flag.Int("workers", 0, "worker pool size (0 = PGSIM_WORKERS or all cores)")
+	ordering := flag.String("ordering", "rcm", "fill-reducing ordering for the KKT factorization (natural, rcm, amd)")
+	naive := flag.Bool("naive", false, "use the per-scenario-rebuild reference path instead of the topology-aware engine")
+	noProjection := flag.Bool("no-projection", false, "disable warm-start projection onto outage layouts")
+	jsonOut := flag.Bool("json", false, "print a machine-readable JSON summary instead of tables")
+	verbose := flag.Bool("v", false, "print one row per scenario")
+	flag.Parse()
+	batch.SetDefaultWorkers(*workers)
+
+	ord, err := sparse.ParseOrdering(*ordering)
+	if err != nil {
+		log.Fatal(err)
+	}
+	c, err := casegen.Paper(*caseName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	base := opf.Prepare(c)
+	if ord != sparse.OrderRCM {
+		base.SetOrdering(ord)
+	}
+
+	var model *mtl.Model
+	if *trainN > 0 {
+		variant, err := mtl.ParseVariant(*variantName)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sys := &core.System{Name: c.Name, Case: c, OPF: base}
+		log.Printf("training: %d samples on the intact %s", *trainN, c.Name)
+		set, err := sys.GenerateData(*trainN, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		train, _ := set.Split(0.8)
+		model, err = sys.TrainModel(variant, train, *epochs, *seed, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	cons, err := parseContingencies(*contingencies, len(c.Branches), func() []int { return scopf.Contingencies(c) })
+	if err != nil {
+		log.Fatal(err)
+	}
+	draws := sampleDraws(c.NB(), *nDraws, *seed, *spread)
+	var scenarios []scopf.Scenario
+	for _, f := range draws {
+		if !*skipIntact {
+			scenarios = append(scenarios, scopf.Scenario{Factors: f, OutBranch: -1})
+		}
+		for _, l := range cons {
+			scenarios = append(scenarios, scopf.Scenario{Factors: f, OutBranch: l})
+		}
+	}
+	if len(scenarios) == 0 {
+		log.Fatal("nothing to screen (no draws or no topologies)")
+	}
+
+	t0 := time.Now()
+	var outs []scopf.Outcome
+	var classes []scopf.ClassInfo
+	if *naive {
+		outs = scopf.ScreenNaive(c, model, scenarios, *workers)
+	} else {
+		eng := &scopf.Engine{
+			Base: c, Prepared: base, Model: model,
+			Workers: *workers, NoProjection: *noProjection,
+		}
+		rep := eng.Run(scenarios)
+		outs, classes = rep.Outcomes, rep.Classes
+	}
+	elapsed := time.Since(t0)
+	sum := scopf.Summarize(outs)
+
+	if *jsonOut {
+		printJSON(c.Name, *naive, sum, classes, elapsed)
+		return
+	}
+	fmt.Printf("case %s: screened %d scenarios (%d draws × %d topologies) in %v — %.1f scenarios/s\n",
+		c.Name, sum.Total, len(draws), len(cons)+boolInt(!*skipIntact), elapsed.Round(time.Millisecond),
+		float64(sum.Total)/elapsed.Seconds())
+	mode := "topology-aware engine"
+	if *naive {
+		mode = "naive per-scenario rebuild"
+	}
+	fmt.Printf("path: %s, %s ordering, %d workers\n", mode, ord, batch.Workers(*workers))
+	fmt.Printf("secure: %d/%d feasible, worst cost %.2f $/hr, mean %.1f iterations\n",
+		sum.Feasible, sum.Total, sum.WorstCost, sum.MeanIterations)
+	if model != nil {
+		fmt.Printf("warm starts: %d accepted (%d projected onto outage layouts), hit rate %.0f%%\n",
+			sum.WarmConverged, sum.Projected, 100*float64(sum.WarmConverged)/float64(sum.Total))
+	}
+	if sum.Errors > 0 {
+		fmt.Printf("errors: %d scenarios failed to solve cleanly\n", sum.Errors)
+	}
+	if len(classes) > 0 {
+		fmt.Printf("\n%-10s %10s %8s %10s\n", "outage", "scenarios", "#µ", "warm")
+		for _, cl := range classes {
+			name := "intact"
+			if cl.OutBranch >= 0 {
+				br := c.Branches[cl.OutBranch]
+				name = fmt.Sprintf("%d-%d", br.From, br.To)
+			}
+			fmt.Printf("%-10s %10d %8d %10s\n", name, cl.Scenarios, cl.NIq, cl.WarmMode)
+		}
+	}
+	if *verbose {
+		fmt.Printf("\n%6s %8s %10s %14s %6s %6s\n", "draw", "outage", "status", "cost ($/hr)", "iters", "warm")
+		per := len(cons) + boolInt(!*skipIntact)
+		for i, o := range outs {
+			status := "secure"
+			switch {
+			case o.Err != nil:
+				status = "error"
+			case !o.Feasible:
+				status = "insecure"
+			}
+			outage := "-"
+			if o.Scenario.OutBranch >= 0 {
+				outage = strconv.Itoa(o.Scenario.OutBranch)
+			}
+			warm := "-"
+			if o.WarmUsed {
+				warm = "yes"
+				if o.Projected {
+					warm = "proj"
+				}
+			}
+			fmt.Printf("%6d %8s %10s %14.2f %6d %6s\n", i/per, outage, status, o.Cost, o.Iterations, warm)
+		}
+	}
+}
+
+// printJSON emits the machine-readable summary (the cmd-line analogue of
+// POST /v1/screen's response).
+func printJSON(name string, naive bool, sum scopf.Summary, classes []scopf.ClassInfo, elapsed time.Duration) {
+	path := "engine"
+	if naive {
+		path = "naive"
+	}
+	report := map[string]any{
+		"case":              name,
+		"path":              path,
+		"scenarios":         sum.Total,
+		"feasible":          sum.Feasible,
+		"warm_converged":    sum.WarmConverged,
+		"projected":         sum.Projected,
+		"errors":            sum.Errors,
+		"mean_iterations":   sum.MeanIterations,
+		"worst_cost":        sum.WorstCost,
+		"elapsed_us":        elapsed.Microseconds(),
+		"scenarios_per_sec": float64(sum.Total) / elapsed.Seconds(),
+	}
+	if !naive {
+		cls := make([]map[string]any, 0, len(classes))
+		for _, cl := range classes {
+			cls = append(cls, map[string]any{
+				"out_branch": cl.OutBranch, "scenarios": cl.Scenarios,
+				"nmu": cl.NIq, "warm_mode": cl.WarmMode,
+			})
+		}
+		report["classes"] = cls
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(report)
+}
+
+// parseContingencies resolves the -contingencies flag; indices address
+// Case.Branches (the full list, not only in-service branches).
+func parseContingencies(s string, nbr int, all func() []int) ([]int, error) {
+	switch s {
+	case "all":
+		return all(), nil
+	case "none", "":
+		return nil, nil
+	}
+	var out []int
+	for _, p := range strings.Split(s, ",") {
+		l, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("bad -contingencies entry %q: %v", p, err)
+		}
+		if l < 0 || l >= nbr {
+			return nil, fmt.Errorf("-contingencies entry %d outside [0, %d)", l, nbr)
+		}
+		out = append(out, l)
+	}
+	return out, nil
+}
+
+// sampleDraws draws per-bus load factors uniformly from [1−spread, 1+spread].
+func sampleDraws(nb, n int, seed int64, spread float64) []la.Vector {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]la.Vector, n)
+	for i := range out {
+		f := make(la.Vector, nb)
+		for k := range f {
+			f[k] = 1 - spread + 2*spread*rng.Float64()
+		}
+		out[i] = f
+	}
+	return out
+}
+
+func boolInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -11,14 +11,16 @@
 // (internal/dataset), the Smart-PGSim pipeline and experiment drivers
 // (internal/core), the scaling study (internal/scale), the parallel
 // batch-execution engine that fans every sweep out across the host's
-// cores (internal/batch), and the warm-start OPF serving subsystem
-// (internal/serve).
+// cores (internal/batch), the warm-start OPF serving subsystem
+// (internal/serve), and the topology-aware N-1 contingency-screening
+// engine (internal/scopf).
 //
 // Executables are under cmd/: pgsim (one-shot AC-OPF solves and load
 // sweeps), traingen and train (the offline phase as artifacts),
 // smartpgsim (the full pipeline and paper figures), sensitivity and
-// scaling (Table I and Figure 9), and pgsimd — the long-running
-// warm-start OPF serving daemon with an HTTP/JSON API (README.md
+// scaling (Table I and Figure 9), scopf (N-1 contingency screening on
+// the topology-aware engine), and pgsimd — the long-running warm-start
+// OPF serving daemon with an HTTP/JSON API (README.md
 // documents the endpoints). Runnable examples live under examples/,
 // and bench_test.go in this directory regenerates every table and
 // figure of the paper — see DESIGN.md and EXPERIMENTS.md.

@@ -38,7 +38,10 @@ type Spec struct {
 
 // PaperSpecs returns the size profiles of the systems used in the paper's
 // evaluation (Table II), keyed by their conventional names. The counts
-// for λ and µ follow from these sizes exactly as in the paper.
+// for λ and µ follow from these sizes exactly as in the paper. The
+// case30 profile is retained for the synthetic-generator tests even
+// though Paper serves the embedded IEEE data (grid.Case30) for that
+// name.
 func PaperSpecs() map[string]Spec {
 	return map[string]Spec{
 		"case30":  {Name: "case30", Buses: 30, Gens: 6, Branches: 41, RatedBranches: 41, Seed: 30},
@@ -102,7 +105,8 @@ func Systems(names []string, workers int) ([]*grid.Case, error) {
 }
 
 // Paper returns one of the paper's test systems by name: embedded data
-// for case5, case9 and case14; synthetic Table II profiles for the rest.
+// for case5, case9, case14 and case30; synthetic Table II profiles for
+// the rest.
 func Paper(name string) (*grid.Case, error) {
 	switch name {
 	case "case5":
@@ -111,6 +115,8 @@ func Paper(name string) (*grid.Case, error) {
 		return grid.Case9(), nil
 	case "case14":
 		return grid.Case14(), nil
+	case "case30":
+		return grid.Case30(), nil
 	}
 	spec, ok := PaperSpecs()[name]
 	if !ok {

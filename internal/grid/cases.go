@@ -1,10 +1,10 @@
 package grid
 
-// Embedded reference systems. Case9 and Case14 follow the standard
-// Matpower data (WSCC 9-bus and IEEE 14-bus); Case5 is the PJM 5-bus
-// system. Larger paper systems (30/39/57/118/300 buses) are produced by
-// internal/casegen with the Table II size profiles — see DESIGN.md for the
-// substitution rationale.
+// Embedded reference systems. Case9, Case14 and Case30 follow the
+// standard Matpower data (WSCC 9-bus, IEEE 14-bus and IEEE 30-bus with
+// the OPF cost set); Case5 is the PJM 5-bus system. Larger paper systems
+// (39/57/118/300 buses) are produced by internal/casegen with the Table
+// II size profiles — see DESIGN.md for the substitution rationale.
 
 // Case9 returns the WSCC 3-machine 9-bus system.
 func Case9() *Case {
@@ -124,6 +124,103 @@ func Case14() *Case {
 			{From: 10, To: 11, R: 0.08205, X: 0.19207, Status: true},
 			{From: 12, To: 13, R: 0.22092, X: 0.19988, Status: true},
 			{From: 13, To: 14, R: 0.17093, X: 0.34802, Status: true},
+		},
+	}
+	mustNormalize(c)
+	return c
+}
+
+// Case30 returns the IEEE 30-bus system with the standard OPF cost data.
+// Every branch carries a finite MVA rating, which makes it the smallest
+// embedded system where an N-1 outage changes the inequality layout —
+// the case the contingency-screening engine's warm-start projection is
+// built for (see internal/scopf).
+func Case30() *Case {
+	c := &Case{
+		Name:    "case30",
+		BaseMVA: 100,
+		Buses: []Bus{
+			{ID: 1, Type: Ref, Vm: 1, BaseKV: 135, Vmax: 1.05, Vmin: 0.95},
+			{ID: 2, Type: PV, Pd: 21.7, Qd: 12.7, Vm: 1, BaseKV: 135, Vmax: 1.1, Vmin: 0.95},
+			{ID: 3, Type: PQ, Pd: 2.4, Qd: 1.2, Vm: 1, BaseKV: 135, Vmax: 1.05, Vmin: 0.95},
+			{ID: 4, Type: PQ, Pd: 7.6, Qd: 1.6, Vm: 1, BaseKV: 135, Vmax: 1.05, Vmin: 0.95},
+			{ID: 5, Type: PQ, Bs: 19, Vm: 1, BaseKV: 135, Vmax: 1.05, Vmin: 0.95},
+			{ID: 6, Type: PQ, Vm: 1, BaseKV: 135, Vmax: 1.05, Vmin: 0.95},
+			{ID: 7, Type: PQ, Pd: 22.8, Qd: 10.9, Vm: 1, BaseKV: 135, Vmax: 1.05, Vmin: 0.95},
+			{ID: 8, Type: PQ, Pd: 30, Qd: 30, Vm: 1, BaseKV: 135, Vmax: 1.05, Vmin: 0.95},
+			{ID: 9, Type: PQ, Vm: 1, BaseKV: 135, Vmax: 1.05, Vmin: 0.95},
+			{ID: 10, Type: PQ, Pd: 5.8, Qd: 2, Vm: 1, BaseKV: 135, Vmax: 1.05, Vmin: 0.95},
+			{ID: 11, Type: PQ, Vm: 1, BaseKV: 135, Vmax: 1.05, Vmin: 0.95},
+			{ID: 12, Type: PQ, Pd: 11.2, Qd: 7.5, Vm: 1, BaseKV: 135, Vmax: 1.05, Vmin: 0.95},
+			{ID: 13, Type: PV, Vm: 1, BaseKV: 135, Vmax: 1.1, Vmin: 0.95},
+			{ID: 14, Type: PQ, Pd: 6.2, Qd: 1.6, Vm: 1, BaseKV: 135, Vmax: 1.05, Vmin: 0.95},
+			{ID: 15, Type: PQ, Pd: 8.2, Qd: 2.5, Vm: 1, BaseKV: 135, Vmax: 1.05, Vmin: 0.95},
+			{ID: 16, Type: PQ, Pd: 3.5, Qd: 1.8, Vm: 1, BaseKV: 135, Vmax: 1.05, Vmin: 0.95},
+			{ID: 17, Type: PQ, Pd: 9, Qd: 5.8, Vm: 1, BaseKV: 135, Vmax: 1.05, Vmin: 0.95},
+			{ID: 18, Type: PQ, Pd: 3.2, Qd: 0.9, Vm: 1, BaseKV: 135, Vmax: 1.05, Vmin: 0.95},
+			{ID: 19, Type: PQ, Pd: 9.5, Qd: 3.4, Vm: 1, BaseKV: 135, Vmax: 1.05, Vmin: 0.95},
+			{ID: 20, Type: PQ, Pd: 2.2, Qd: 0.7, Vm: 1, BaseKV: 135, Vmax: 1.05, Vmin: 0.95},
+			{ID: 21, Type: PQ, Pd: 17.5, Qd: 11.2, Vm: 1, BaseKV: 135, Vmax: 1.05, Vmin: 0.95},
+			{ID: 22, Type: PV, Vm: 1, BaseKV: 135, Vmax: 1.1, Vmin: 0.95},
+			{ID: 23, Type: PV, Pd: 3.2, Qd: 1.6, Vm: 1, BaseKV: 135, Vmax: 1.1, Vmin: 0.95},
+			{ID: 24, Type: PQ, Pd: 8.7, Qd: 6.7, Bs: 4, Vm: 1, BaseKV: 135, Vmax: 1.05, Vmin: 0.95},
+			{ID: 25, Type: PQ, Vm: 1, BaseKV: 135, Vmax: 1.05, Vmin: 0.95},
+			{ID: 26, Type: PQ, Pd: 3.5, Qd: 2.3, Vm: 1, BaseKV: 135, Vmax: 1.05, Vmin: 0.95},
+			{ID: 27, Type: PV, Vm: 1, BaseKV: 135, Vmax: 1.1, Vmin: 0.95},
+			{ID: 28, Type: PQ, Vm: 1, BaseKV: 135, Vmax: 1.05, Vmin: 0.95},
+			{ID: 29, Type: PQ, Pd: 2.4, Qd: 0.9, Vm: 1, BaseKV: 135, Vmax: 1.05, Vmin: 0.95},
+			{ID: 30, Type: PQ, Pd: 10.6, Qd: 1.9, Vm: 1, BaseKV: 135, Vmax: 1.05, Vmin: 0.95},
+		},
+		Gens: []Gen{
+			{Bus: 1, Pg: 23.54, Qmax: 150, Qmin: -20, Vg: 1, Pmax: 80, Pmin: 0, Status: true, Cost: PolyCost{C2: 0.02, C1: 2}},
+			{Bus: 2, Pg: 60.97, Qmax: 60, Qmin: -20, Vg: 1, Pmax: 80, Pmin: 0, Status: true, Cost: PolyCost{C2: 0.0175, C1: 1.75}},
+			{Bus: 22, Pg: 21.59, Qmax: 62.5, Qmin: -15, Vg: 1, Pmax: 50, Pmin: 0, Status: true, Cost: PolyCost{C2: 0.0625, C1: 1}},
+			{Bus: 27, Pg: 26.91, Qmax: 48.7, Qmin: -15, Vg: 1, Pmax: 55, Pmin: 0, Status: true, Cost: PolyCost{C2: 0.00834, C1: 3.25}},
+			{Bus: 23, Pg: 19.2, Qmax: 40, Qmin: -10, Vg: 1, Pmax: 30, Pmin: 0, Status: true, Cost: PolyCost{C2: 0.025, C1: 3}},
+			{Bus: 13, Pg: 37, Qmax: 44.7, Qmin: -15, Vg: 1, Pmax: 40, Pmin: 0, Status: true, Cost: PolyCost{C2: 0.025, C1: 3}},
+		},
+		Branches: []Branch{
+			{From: 1, To: 2, R: 0.02, X: 0.06, B: 0.03, RateA: 130, Status: true},
+			{From: 1, To: 3, R: 0.05, X: 0.19, B: 0.02, RateA: 130, Status: true},
+			{From: 2, To: 4, R: 0.06, X: 0.17, B: 0.02, RateA: 65, Status: true},
+			{From: 3, To: 4, R: 0.01, X: 0.04, RateA: 130, Status: true},
+			{From: 2, To: 5, R: 0.05, X: 0.2, B: 0.02, RateA: 130, Status: true},
+			{From: 2, To: 6, R: 0.06, X: 0.18, B: 0.02, RateA: 65, Status: true},
+			{From: 4, To: 6, R: 0.01, X: 0.04, RateA: 90, Status: true},
+			{From: 5, To: 7, R: 0.05, X: 0.12, B: 0.01, RateA: 70, Status: true},
+			{From: 6, To: 7, R: 0.03, X: 0.08, B: 0.01, RateA: 130, Status: true},
+			{From: 6, To: 8, R: 0.01, X: 0.04, RateA: 32, Status: true},
+			{From: 6, To: 9, X: 0.21, RateA: 65, Status: true},
+			{From: 6, To: 10, X: 0.56, RateA: 32, Status: true},
+			{From: 9, To: 11, X: 0.21, RateA: 65, Status: true},
+			{From: 9, To: 10, X: 0.11, RateA: 65, Status: true},
+			{From: 4, To: 12, X: 0.26, RateA: 65, Status: true},
+			{From: 12, To: 13, X: 0.14, RateA: 65, Status: true},
+			{From: 12, To: 14, R: 0.12, X: 0.26, RateA: 32, Status: true},
+			{From: 12, To: 15, R: 0.07, X: 0.13, RateA: 32, Status: true},
+			{From: 12, To: 16, R: 0.09, X: 0.2, RateA: 32, Status: true},
+			{From: 14, To: 15, R: 0.22, X: 0.2, RateA: 16, Status: true},
+			{From: 16, To: 17, R: 0.08, X: 0.19, RateA: 16, Status: true},
+			{From: 15, To: 18, R: 0.11, X: 0.22, RateA: 16, Status: true},
+			{From: 18, To: 19, R: 0.06, X: 0.13, RateA: 16, Status: true},
+			{From: 19, To: 20, R: 0.03, X: 0.07, RateA: 32, Status: true},
+			{From: 10, To: 20, R: 0.09, X: 0.21, RateA: 32, Status: true},
+			{From: 10, To: 17, R: 0.03, X: 0.08, RateA: 32, Status: true},
+			{From: 10, To: 21, R: 0.03, X: 0.07, RateA: 32, Status: true},
+			{From: 10, To: 22, R: 0.07, X: 0.15, RateA: 32, Status: true},
+			{From: 21, To: 22, R: 0.01, X: 0.02, RateA: 32, Status: true},
+			{From: 15, To: 23, R: 0.1, X: 0.2, RateA: 16, Status: true},
+			{From: 22, To: 24, R: 0.12, X: 0.18, RateA: 16, Status: true},
+			{From: 23, To: 24, R: 0.13, X: 0.27, RateA: 16, Status: true},
+			{From: 24, To: 25, R: 0.19, X: 0.33, RateA: 16, Status: true},
+			{From: 25, To: 26, R: 0.25, X: 0.38, RateA: 16, Status: true},
+			{From: 25, To: 27, R: 0.11, X: 0.21, RateA: 16, Status: true},
+			{From: 28, To: 27, X: 0.4, RateA: 65, Status: true},
+			{From: 27, To: 29, R: 0.22, X: 0.42, RateA: 16, Status: true},
+			{From: 27, To: 30, R: 0.32, X: 0.6, RateA: 16, Status: true},
+			{From: 29, To: 30, R: 0.24, X: 0.45, RateA: 16, Status: true},
+			{From: 8, To: 28, R: 0.06, X: 0.2, B: 0.02, RateA: 32, Status: true},
+			{From: 6, To: 28, R: 0.02, X: 0.06, B: 0.02, RateA: 32, Status: true},
 		},
 	}
 	mustNormalize(c)

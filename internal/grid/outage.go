@@ -1,0 +1,126 @@
+package grid
+
+import (
+	"fmt"
+	"slices"
+
+	"repro/internal/sparse"
+)
+
+// This file implements the single-branch-outage topology delta that the
+// SC-OPF contingency screening derives scenarios from: instead of
+// rebuilding the case and its admittance matrices per N-1 scenario,
+// Case.WithoutBranch produces a cheap view of the outaged case and
+// YMatrices.DropBranch subtracts the outaged branch's stamp from the
+// prepared matrices. Both are exact: the delta'd matrices are
+// bit-identical — pattern and values — to a fresh MakeYbus of the
+// outaged case, which is what lets the screening engine pin its results
+// to the naive per-scenario rebuild (see internal/scopf).
+
+// WithoutBranch returns a view of the case with branch l (an index into
+// c.Branches) out of service. The branch list is a fresh copy; buses,
+// generators and the Normalize index are shared with c, so the view
+// costs O(nl) and needs no re-Normalize. Treat the shared fields as
+// read-only — Clone the view before mutating loads (Perturb does).
+func (c *Case) WithoutBranch(l int) *Case {
+	if l < 0 || l >= len(c.Branches) {
+		panic(fmt.Sprintf("grid: WithoutBranch index %d outside %d branches", l, len(c.Branches)))
+	}
+	cp := *c
+	cp.Branches = append([]Branch(nil), c.Branches...)
+	cp.Branches[l].Status = false
+	return &cp
+}
+
+// WithoutRow returns a copy of m with row l removed.
+func (m *BranchMat) WithoutRow(l int) *BranchMat {
+	return &BranchMat{
+		NB: m.NB,
+		F:  dropAt(m.F, l), T: dropAt(m.T, l),
+		Vf: dropAt(m.Vf, l), Vt: dropAt(m.Vt, l),
+	}
+}
+
+// dropAt returns a copy of s without element l.
+func dropAt[E any](s []E, l int) []E {
+	return slices.Delete(slices.Clone(s), l, l+1)
+}
+
+// DropBranch returns the admittance matrices of the case with in-service
+// branch l (an index into the Yf/Yt rows, i.e. ActiveBranches order)
+// outaged. The result is bit-identical to MakeYbus on the outaged case:
+// Yf/Yt lose row l (branch stamps are row-independent), and the only
+// Ybus columns a branch touches — its from- and to-bus columns — are
+// recompiled from the surviving stamps in MakeYbus's exact accumulation
+// order, so even the floating-point summation of parallel branches and
+// shunts matches a rebuild. Every other column is copied unchanged
+// (builder compilation is column-local). c must be the case y was built
+// from (it supplies the bus shunts and BaseMVA).
+func (y *YMatrices) DropBranch(c *Case, l int) *YMatrices {
+	nl := y.Yf.NL()
+	if l < 0 || l >= nl {
+		panic(fmt.Sprintf("grid: DropBranch row %d outside %d active branches", l, nl))
+	}
+	f, t := y.Yf.F[l], y.Yf.T[l]
+	colF := y.recompileColumn(c, l, f)
+	colT := y.recompileColumn(c, l, t)
+
+	old := y.Ybus
+	nb := old.NCols
+	newPtr := make([]int, nb+1)
+	rowIdx := make([]int, 0, len(old.RowIdx))
+	vals := make([]complex128, 0, len(old.Val))
+	for j := 0; j < nb; j++ {
+		switch j {
+		case f:
+			rowIdx = append(rowIdx, colF.RowIdx...)
+			vals = append(vals, colF.Val...)
+		case t:
+			rowIdx = append(rowIdx, colT.RowIdx...)
+			vals = append(vals, colT.Val...)
+		default:
+			lo, hi := old.ColPtr[j], old.ColPtr[j+1]
+			rowIdx = append(rowIdx, old.RowIdx[lo:hi]...)
+			vals = append(vals, old.Val[lo:hi]...)
+		}
+		newPtr[j+1] = len(rowIdx)
+	}
+	return &YMatrices{
+		Ybus: &sparse.CSCComplex{NRows: nb, NCols: nb, ColPtr: newPtr, RowIdx: rowIdx, Val: vals},
+		Yf:   y.Yf.WithoutRow(l), Yt: y.Yt.WithoutRow(l),
+		FIdx: dropAt(y.FIdx, l), TIdx: dropAt(y.TIdx, l),
+	}
+}
+
+// recompileColumn rebuilds Ybus column col as MakeYbus would with active
+// branch skip removed: the surviving branch stamps (recovered from the
+// Yf/Yt rows) and the bus shunt are appended in MakeYbus's append order
+// and compiled through the same builder path, so sorting and duplicate
+// summation are bit-identical to a full rebuild of the outaged case.
+func (y *YMatrices) recompileColumn(c *Case, skip, col int) *sparse.CSCComplex {
+	b := sparse.NewBuilderC(c.NB(), 1)
+	for k := 0; k < y.Yf.NL(); k++ {
+		if k == skip {
+			continue
+		}
+		fk, tk := y.Yf.F[k], y.Yf.T[k]
+		// MakeYbus appends (f,f)=yff, (f,t)=yft, (t,f)=ytf, (t,t)=ytt per
+		// branch; keep that order among the entries landing in this column.
+		if fk == col {
+			b.Append(fk, 0, y.Yf.Vf[k]) // yff
+		}
+		if tk == col {
+			b.Append(fk, 0, y.Yf.Vt[k]) // yft
+		}
+		if fk == col {
+			b.Append(tk, 0, y.Yt.Vf[k]) // ytf
+		}
+		if tk == col {
+			b.Append(tk, 0, y.Yt.Vt[k]) // ytt
+		}
+	}
+	if bus := c.Buses[col]; bus.Gs != 0 || bus.Bs != 0 {
+		b.Append(col, 0, complex(bus.Gs, bus.Bs)/complex(c.BaseMVA, 0))
+	}
+	return b.ToCSC()
+}

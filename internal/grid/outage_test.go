@@ -1,0 +1,124 @@
+package grid
+
+import (
+	"testing"
+
+	"repro/internal/sparse"
+)
+
+// rebuildWithout is the reference: flip the branch out of service and
+// rebuild the admittance matrices from scratch.
+func rebuildWithout(c *Case, branch int) *YMatrices {
+	cc := c.Clone()
+	cc.Branches[branch].Status = false
+	if err := cc.Normalize(); err != nil {
+		panic(err)
+	}
+	return MakeYbus(cc)
+}
+
+func sameComplexCSC(t *testing.T, name string, got, want *sparse.CSCComplex) {
+	t.Helper()
+	if got.NRows != want.NRows || got.NCols != want.NCols {
+		t.Fatalf("%s: shape %dx%d want %dx%d", name, got.NRows, got.NCols, want.NRows, want.NCols)
+	}
+	if len(got.RowIdx) != len(want.RowIdx) {
+		t.Fatalf("%s: nnz %d want %d", name, len(got.RowIdx), len(want.RowIdx))
+	}
+	for i := range got.ColPtr {
+		if got.ColPtr[i] != want.ColPtr[i] {
+			t.Fatalf("%s: ColPtr[%d] = %d want %d", name, i, got.ColPtr[i], want.ColPtr[i])
+		}
+	}
+	for p := range got.RowIdx {
+		if got.RowIdx[p] != want.RowIdx[p] {
+			t.Fatalf("%s: RowIdx[%d] = %d want %d", name, p, got.RowIdx[p], want.RowIdx[p])
+		}
+		if got.Val[p] != want.Val[p] {
+			t.Fatalf("%s: Val[%d] = %v want %v (not bit-identical)", name, p, got.Val[p], want.Val[p])
+		}
+	}
+}
+
+func sameBranchMat(t *testing.T, name string, got, want *BranchMat) {
+	t.Helper()
+	if got.NB != want.NB || got.NL() != want.NL() {
+		t.Fatalf("%s: shape %dx%d want %dx%d", name, got.NL(), got.NB, want.NL(), want.NB)
+	}
+	for l := range got.F {
+		if got.F[l] != want.F[l] || got.T[l] != want.T[l] ||
+			got.Vf[l] != want.Vf[l] || got.Vt[l] != want.Vt[l] {
+			t.Fatalf("%s: row %d differs", name, l)
+		}
+	}
+}
+
+// Property: the incremental single-branch-outage delta is bit-identical
+// — pattern and values — to rebuilding the admittance matrices on the
+// outaged case, for every branch (bridges included; connectivity is a
+// screening concern, not a matrix one) of every embedded system.
+func TestDropBranchMatchesRebuild(t *testing.T) {
+	for _, c := range []*Case{Case5(), Case9(), Case14(), Case30()} {
+		y := MakeYbus(c)
+		active := 0
+		for branch, br := range c.Branches {
+			if !br.Status {
+				continue
+			}
+			got := y.DropBranch(c, active)
+			want := rebuildWithout(c, branch)
+			name := c.Name + "/outage"
+			sameComplexCSC(t, name+"/Ybus", got.Ybus, want.Ybus)
+			sameBranchMat(t, name+"/Yf", got.Yf, want.Yf)
+			sameBranchMat(t, name+"/Yt", got.Yt, want.Yt)
+			for i := range got.FIdx {
+				if got.FIdx[i] != want.FIdx[i] || got.TIdx[i] != want.TIdx[i] {
+					t.Fatalf("%s: FIdx/TIdx[%d] differ", name, i)
+				}
+			}
+			active++
+		}
+	}
+}
+
+func TestWithoutBranchView(t *testing.T) {
+	c := Case9()
+	v := c.WithoutBranch(3)
+	if c.Branches[3].Status != true {
+		t.Fatal("view mutated the base case")
+	}
+	if v.Branches[3].Status {
+		t.Fatal("view branch still in service")
+	}
+	if v.NL() != c.NL()-1 {
+		t.Fatalf("view NL = %d want %d", v.NL(), c.NL()-1)
+	}
+	// The Normalize index is shared — no re-Normalize needed.
+	if v.BusIndex(c.Buses[0].ID) != 0 {
+		t.Fatal("bus index lost on the view")
+	}
+	// Cloning the view detaches it fully (the Perturb path).
+	cl := v.Clone()
+	cl.Buses[0].Pd = 123
+	if c.Buses[0].Pd == 123 || v.Buses[0].Pd == 123 {
+		t.Fatal("clone of the view shares bus storage")
+	}
+}
+
+// Case30 must be a well-formed, solvable embedding of the IEEE 30-bus
+// system with every branch rated (the layout-changing contingency case).
+func TestCase30(t *testing.T) {
+	c := Case30()
+	if c.NB() != 30 || c.NG() != 6 || c.NL() != 41 {
+		t.Fatalf("counts %d/%d/%d want 30/6/41", c.NB(), c.NG(), c.NL())
+	}
+	for l, br := range c.Branches {
+		if br.RateA <= 0 {
+			t.Fatalf("branch %d unrated; case30 carries flow limits on every branch", l)
+		}
+	}
+	p, q := c.TotalLoad()
+	if p < 180 || p > 200 || q < 100 || q > 115 {
+		t.Fatalf("total load %.1f MW %.1f MVAr outside the IEEE 30-bus range", p, q)
+	}
+}

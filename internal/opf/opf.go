@@ -20,6 +20,7 @@ package opf
 import (
 	"fmt"
 	"math"
+	"slices"
 	"time"
 
 	"repro/internal/grid"
@@ -203,6 +204,105 @@ func (o *OPF) Rebind(c *grid.Case) *OPF {
 	cp.Case = c
 	cp.prep = time.Since(t0)
 	return &cp
+}
+
+// RebindOutage derives a prepared OPF for the single-branch-outage
+// variant of the bound case: branch (an index into Case.Branches) is
+// taken out of service. The admittance matrices are delta'd with
+// grid.YMatrices.DropBranch — bit-identical to rebuilding them on the
+// outaged case — and everything the outage cannot touch (bounds,
+// generator data, reference bus, variable layout) is shared with o. If
+// the branch is rated, its two flow rows leave the inequality layout
+// (NIq shrinks by 2); warm starts predicted in o's layout then need
+// ProjectStart. The derived instance gets its own KKT ordering cache
+// (its pattern differs from o's) with o's configured ordering, shared —
+// like any prepared instance's — by all Rebind/Perturb derivations, so
+// one ordering analysis serves every scenario of the outage topology.
+func (o *OPF) RebindOutage(branch int) (*OPF, error) {
+	t0 := time.Now()
+	if branch < 0 || branch >= len(o.Case.Branches) {
+		return nil, fmt.Errorf("opf: outage branch %d outside %d branches of %s", branch, len(o.Case.Branches), o.Case.Name)
+	}
+	if !o.Case.Branches[branch].Status {
+		return nil, fmt.Errorf("opf: outage branch %d of %s is already out of service", branch, o.Case.Name)
+	}
+	ai := 0 // position of branch within ActiveBranches (the Yf/Yt rows)
+	for i := 0; i < branch; i++ {
+		if o.Case.Branches[i].Status {
+			ai++
+		}
+	}
+	y := o.Y.DropBranch(o.Case, ai)
+	cp := *o
+	cp.Case = o.Case.WithoutBranch(branch)
+	cp.Y = y
+	if rl := o.RatedPos(branch); rl >= 0 {
+		cp.ratedY = &grid.YMatrices{
+			Ybus: y.Ybus,
+			Yf:   o.ratedY.Yf.WithoutRow(rl), Yt: o.ratedY.Yt.WithoutRow(rl),
+			FIdx: slices.Delete(slices.Clone(o.ratedY.FIdx), rl, rl+1),
+			TIdx: slices.Delete(slices.Clone(o.ratedY.TIdx), rl, rl+1),
+		}
+		cp.rates2 = slices.Delete(slices.Clone(o.rates2), rl, rl+1)
+		cp.Lay.NLRated--
+		cp.Lay.NIq -= 2
+	} else {
+		rc := *o.ratedY
+		rc.Ybus = y.Ybus
+		cp.ratedY = &rc
+	}
+	cp.kkt = sparse.NewOrderingCache(o.kkt.Ordering())
+	cp.prep = time.Since(t0)
+	return &cp, nil
+}
+
+// RatedPos returns the position of the given case branch within the
+// rated-branch subset (the flow-row index its |Sf|² constraint occupies),
+// or -1 when the branch is out of service or unrated — i.e. when its
+// outage leaves the inequality layout unchanged.
+func (o *OPF) RatedPos(branch int) int {
+	if branch < 0 || branch >= len(o.Case.Branches) {
+		return -1
+	}
+	br := o.Case.Branches[branch]
+	if !br.Status || br.RateA <= 0 {
+		return -1
+	}
+	rl := 0
+	for i := 0; i < branch; i++ {
+		if b := o.Case.Branches[i]; b.Status && b.RateA > 0 {
+			rl++
+		}
+	}
+	return rl
+}
+
+// ProjectStart maps a warm start predicted in o's layout onto the layout
+// of the variant with rated-branch position rl outaged (see RebindOutage
+// and RatedPos): the µ and Z entries of the dropped from- and to-flow
+// rows (rl and NLRated+rl) are removed; X and λ are unchanged, since the
+// outage touches neither the variable packing nor the equality rows.
+// This is what makes rated-branch contingencies warm-startable from an
+// intact-system prediction instead of falling back to a cold solve.
+func (o *OPF) ProjectStart(st *Start, rl int) *Start {
+	nlr := o.Lay.NLRated
+	if st == nil || rl < 0 || rl >= nlr {
+		return st
+	}
+	drop2 := func(v la.Vector) la.Vector {
+		if len(v) == 0 {
+			return v
+		}
+		out := make(la.Vector, 0, len(v)-2)
+		for i, x := range v {
+			if i == rl || i == nlr+rl {
+				continue
+			}
+			out = append(out, x)
+		}
+		return out
+	}
+	return &Start{X: st.X, Lam: st.Lam, Mu: drop2(st.Mu), Z: drop2(st.Z)}
 }
 
 // Perturb derives the OPF of a load-scaled variant of the bound case in

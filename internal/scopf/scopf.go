@@ -5,12 +5,26 @@
 // independent AC-OPF instance. The scenarios are embarrassingly
 // parallel, and each one can be warm-started by the Smart-PGSim model
 // trained on the intact system.
+//
+// Screening is topology-aware: Engine groups scenarios by topology
+// class (which branch is out), derives one prepared OPF per class from
+// the intact system's prepared structure (grid.YMatrices.DropBranch +
+// opf.RebindOutage — bit-identical to a per-scenario rebuild) and fans
+// the scenarios out on the internal/batch worker pool, so every
+// scenario pays only the clone+scale+rebind derivation cost and every
+// class shares one KKT ordering analysis. Outages of rated branches
+// shrink the inequality layout; the engine projects the intact-system
+// warm-start prediction onto the contingency layout (opf.ProjectStart)
+// instead of falling back to a cold solve. ScreenNaive keeps the
+// per-scenario-Prepare reference path; the engine is pinned
+// bit-identical to it by the tests in this package and benchmarked
+// against it by BenchmarkScreen (BENCH_scopf.json).
 package scopf
 
 import (
-	"runtime"
-	"sync"
+	"fmt"
 
+	"repro/internal/batch"
 	"repro/internal/dataset"
 	"repro/internal/grid"
 	"repro/internal/la"
@@ -31,14 +45,316 @@ type Outcome struct {
 	Feasible   bool    // the scenario admits a secure dispatch
 	Cost       float64 // $/hr when feasible
 	Iterations int
-	WarmUsed   bool // the model warm start converged (no restart)
+	WarmUsed   bool  // the model warm start converged (no restart)
+	Projected  bool  // the warm start was projected onto an outage layout
+	Err        error // solver/derivation error; nil for a clean infeasible
 }
 
-// Screener fans scenarios out across workers.
+// Predictor produces a warm-start point from a model input [Pd; Qd].
+// *mtl.Model is the production implementation; it is structurally
+// identical to core.Predictor, so the serving layer can hand its replica
+// pool straight to an Engine.
+type Predictor interface {
+	Predict(input la.Vector) *opf.Start
+}
+
+// warmMode is the per-class warm-start policy.
+type warmMode int
+
+const (
+	warmCold      warmMode = iota // no usable prediction: cold solve only
+	warmExact                     // layout matches the model: direct warm start
+	warmProjected                 // rated outage: project µ/Z onto the class layout
+)
+
+func (m warmMode) String() string {
+	switch m {
+	case warmExact:
+		return "exact"
+	case warmProjected:
+		return "projected"
+	}
+	return "cold"
+}
+
+// ClassInfo describes one topology class of a screening run.
+type ClassInfo struct {
+	OutBranch int    // -1 for the intact topology
+	Scenarios int    // scenarios screened in this class
+	NIq       int    // inequality rows of the class layout (#µ)
+	WarmMode  string // "exact", "projected" or "cold"
+}
+
+// Report is the full result of an Engine run: outcomes in scenario
+// order plus the topology classes in first-seen order. One prepared OPF
+// was derived per class — Scenarios/len(Classes) is the prepare-reuse
+// factor.
+type Report struct {
+	Outcomes []Outcome
+	Classes  []ClassInfo
+}
+
+// Engine is the topology-aware screener. Exactly one of Model and
+// Predictors supplies warm starts (both nil/empty screens cold);
+// Predictors must be interchangeable replicas whose predictions are in
+// the base instance's layout.
+type Engine struct {
+	Base     *grid.Case
+	Prepared *opf.OPF // prepared base instance; built from Base when nil
+	Model    *mtl.Model
+	// Predictors is an explicit replica set used instead of cloning
+	// Model — the serving daemon lends its pool, tests inject stubs.
+	Predictors []Predictor
+	// Workers sizes the batch pool (0 resolves through PGSIM_WORKERS,
+	// batch.SetDefaultWorkers, GOMAXPROCS; 1 is sequential).
+	Workers int
+	// NoProjection disables the rated-outage warm-start projection, so
+	// layout-changing contingencies cold-solve exactly like the naive
+	// reference path (the bit-identity pinning mode).
+	NoProjection bool
+}
+
+// class is one prepared topology variant.
+type class struct {
+	opf      *opf.OPF
+	ratedPos int // rated-subset position of the outage, -1 if layout kept
+	mode     warmMode
+	err      error // derivation failure (invalid outage index)
+}
+
+// Run screens every scenario and returns outcomes in scenario order.
+// Results are bit-identical for any worker count, and — warm-start
+// policy aside (see NoProjection) — to the ScreenNaive reference.
+func (e *Engine) Run(scenarios []Scenario) *Report {
+	base := e.Prepared
+	if base == nil {
+		base = opf.Prepare(e.Base)
+	}
+
+	preds := e.Predictors
+	var modelLay *opf.Layout
+	switch {
+	case len(preds) > 0:
+		// Explicit replicas predict in the base layout by contract.
+		lay := base.Lay
+		modelLay = &lay
+	case e.Model != nil:
+		lay := e.Model.Lay
+		modelLay = &lay
+	}
+
+	// One prepared OPF per distinct topology, first-seen order.
+	classes := map[int]*class{}
+	counts := map[int]int{}
+	var order []int
+	for _, sc := range scenarios {
+		key := sc.OutBranch
+		if key < 0 {
+			key = -1
+		}
+		counts[key]++
+		if _, ok := classes[key]; ok {
+			continue
+		}
+		classes[key] = e.buildClass(base, modelLay, key)
+		order = append(order, key)
+	}
+
+	pool := replicaPool(e.Model, preds, e.Workers, len(scenarios))
+
+	out := make([]Outcome, len(scenarios))
+	_ = batch.Run(len(scenarios), batch.Options{Workers: e.Workers}, func(t *batch.Task) error {
+		sc := scenarios[t.Index]
+		key := sc.OutBranch
+		if key < 0 {
+			key = -1
+		}
+		out[t.Index] = screenClass(base, classes[key], pool, sc)
+		return nil
+	})
+
+	rep := &Report{Outcomes: out}
+	for _, key := range order {
+		cl := classes[key]
+		info := ClassInfo{OutBranch: key, Scenarios: counts[key], WarmMode: cl.mode.String()}
+		if cl.opf != nil {
+			info.NIq = cl.opf.Lay.NIq
+		}
+		rep.Classes = append(rep.Classes, info)
+	}
+	return rep
+}
+
+// buildClass derives the prepared OPF and warm policy of one topology.
+func (e *Engine) buildClass(base *opf.OPF, modelLay *opf.Layout, key int) *class {
+	cl := &class{ratedPos: -1}
+	switch {
+	case key < 0:
+		cl.opf = base
+	case key >= len(base.Case.Branches):
+		cl.err = fmt.Errorf("scopf: outage branch %d outside %d branches", key, len(base.Case.Branches))
+		return cl
+	case !base.Case.Branches[key].Status:
+		// Outage of an already-inactive branch leaves the topology as-is.
+		cl.opf = base
+	default:
+		o, err := base.RebindOutage(key)
+		if err != nil {
+			cl.err = err
+			return cl
+		}
+		cl.opf = o
+		cl.ratedPos = base.RatedPos(key)
+	}
+	if modelLay == nil {
+		return cl
+	}
+	switch {
+	case cl.opf.Lay.NIq == modelLay.NIq && cl.opf.Lay.NEq == modelLay.NEq:
+		cl.mode = warmExact
+	case !e.NoProjection && cl.ratedPos >= 0 &&
+		base.Lay.NIq == modelLay.NIq && base.Lay.NEq == modelLay.NEq:
+		cl.mode = warmProjected
+	}
+	return cl
+}
+
+// replicaPool builds the warm-start replica pool handed out to workers:
+// the explicit preds, or min(workers, scenarios) clones of m. Replicas
+// share weights, so results do not depend on which replica serves a
+// scenario. Both the engine and the naive reference path size their
+// pools through here, keeping the two paths' replica policy identical.
+func replicaPool(m *mtl.Model, preds []Predictor, workers, scenarios int) chan Predictor {
+	if len(preds) == 0 {
+		if m == nil || scenarios == 0 {
+			return nil
+		}
+		n := batch.Workers(workers)
+		if n > scenarios {
+			n = scenarios
+		}
+		if n < 1 {
+			n = 1
+		}
+		preds = make([]Predictor, n)
+		preds[0] = m // the original counts as one replica
+		for i := 1; i < n; i++ {
+			preds[i] = m.Clone()
+		}
+	}
+	pool := make(chan Predictor, len(preds))
+	for _, p := range preds {
+		pool <- p
+	}
+	return pool
+}
+
+// screenClass solves one scenario on its class's prepared structure.
+func screenClass(base *opf.OPF, cl *class, pool chan Predictor, sc Scenario) Outcome {
+	if cl.err != nil {
+		return Outcome{Scenario: sc, Err: cl.err}
+	}
+	inst := cl.opf.Perturb(sc.Factors)
+	var start *opf.Start
+	if pool != nil && cl.mode != warmCold {
+		p := <-pool
+		start = p.Predict(dataset.InputVector(inst.Case))
+		pool <- p
+		if cl.mode == warmProjected {
+			start = base.ProjectStart(start, cl.ratedPos)
+		}
+	}
+	return solveOutcome(inst, sc, start, cl.mode == warmProjected)
+}
+
+// solveOutcome runs the warm→cold pipeline of one scenario: try the
+// predicted start when there is one, restart cold on non-convergence.
+// Both the engine and the naive reference path report through it, so
+// their accounting is identical by construction.
+func solveOutcome(inst *opf.OPF, sc Scenario, start *opf.Start, projected bool) Outcome {
+	res := Outcome{Scenario: sc}
+	if start != nil {
+		if r, err := inst.Solve(start, opf.Options{}); err == nil && r.Converged {
+			res.Feasible = true
+			res.Cost = r.Cost
+			res.Iterations = r.Iterations
+			res.WarmUsed = true
+			res.Projected = projected
+			return res
+		}
+	}
+	r, err := inst.Solve(nil, opf.Options{})
+	if err != nil {
+		res.Err = err
+		return res
+	}
+	if r.Converged {
+		res.Feasible = true
+		res.Cost = r.Cost
+		res.Iterations = r.Iterations
+	}
+	return res
+}
+
+// Screener fans scenarios out across workers. It is the package's
+// stable entry point; Screen delegates to the topology-aware Engine
+// (or, with Naive set, to the per-scenario-Prepare reference path).
 type Screener struct {
 	Base    *grid.Case
 	Model   *mtl.Model // may be nil: cold-start screening
-	Workers int        // default GOMAXPROCS
+	Workers int        // default via the batch pool (PGSIM_WORKERS, GOMAXPROCS)
+	// Naive selects the reference path that re-Prepares every scenario.
+	Naive bool
+	// NoProjection disables rated-outage warm-start projection.
+	NoProjection bool
+}
+
+// Screen solves every scenario, warm-starting from the model when one is
+// set, and returns outcomes in scenario order.
+func (s *Screener) Screen(scenarios []Scenario) []Outcome {
+	if s.Naive {
+		return ScreenNaive(s.Base, s.Model, scenarios, s.Workers)
+	}
+	e := &Engine{Base: s.Base, Model: s.Model, Workers: s.Workers, NoProjection: s.NoProjection}
+	return e.Run(scenarios).Outcomes
+}
+
+// ScreenNaive is the reference screening path: every scenario deep-clones
+// the case, re-Normalizes, rebuilds the admittance matrices and layout
+// with a fresh opf.Prepare, and warm-starts only when the contingency
+// preserves the model's constraint layout (rated-branch outages fall
+// back to cold). It exists as the pinning target and benchmark baseline
+// for the Engine, which must reproduce its outcomes bit for bit when
+// projection is disabled.
+func ScreenNaive(base *grid.Case, m *mtl.Model, scenarios []Scenario, workers int) []Outcome {
+	pool := replicaPool(m, nil, workers, len(scenarios))
+	out := make([]Outcome, len(scenarios))
+	_ = batch.Run(len(scenarios), batch.Options{Workers: workers}, func(t *batch.Task) error {
+		sc := scenarios[t.Index]
+		if sc.OutBranch >= len(base.Branches) {
+			out[t.Index] = Outcome{Scenario: sc, Err: fmt.Errorf("scopf: outage branch %d outside %d branches", sc.OutBranch, len(base.Branches))}
+			return nil
+		}
+		c := base.Clone()
+		c.ScaleLoads(sc.Factors)
+		if sc.OutBranch >= 0 {
+			c.Branches[sc.OutBranch].Status = false
+		}
+		if err := c.Normalize(); err != nil {
+			out[t.Index] = Outcome{Scenario: sc, Err: err}
+			return nil
+		}
+		o := opf.Prepare(c)
+		var start *opf.Start
+		if m != nil && o.Lay.NIq == m.Lay.NIq && o.Lay.NEq == m.Lay.NEq {
+			p := <-pool
+			start = p.Predict(dataset.InputVector(c))
+			pool <- p
+		}
+		out[t.Index] = solveOutcome(o, sc, start, false)
+		return nil
+	})
+	return out
 }
 
 // Contingencies enumerates the single-branch outages that leave the
@@ -101,85 +417,11 @@ func BuildScenarios(draws []la.Vector, contingencies []int) []Scenario {
 	return out
 }
 
-// Screen solves every scenario, warm-starting from the model when one is
-// set, and returns outcomes in scenario order.
-func (s *Screener) Screen(scenarios []Scenario) []Outcome {
-	workers := s.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	out := make([]Outcome, len(scenarios))
-	jobs := make(chan int)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			// One model replica per worker: forward caches are not
-			// concurrency-safe.
-			var m *mtl.Model
-			if s.Model != nil {
-				m = mtl.New(s.Model.Lay, s.Model.Cfg)
-				m.Norm = s.Model.Norm
-				cloneInto(s.Model, m)
-			}
-			for idx := range jobs {
-				out[idx] = s.screenOne(m, scenarios[idx])
-			}
-		}()
-	}
-	for i := range scenarios {
-		jobs <- i
-	}
-	close(jobs)
-	wg.Wait()
-	return out
-}
-
-func (s *Screener) screenOne(m *mtl.Model, sc Scenario) Outcome {
-	c := s.Base.Clone()
-	c.ScaleLoads(sc.Factors)
-	if sc.OutBranch >= 0 {
-		c.Branches[sc.OutBranch].Status = false
-	}
-	if err := c.Normalize(); err != nil {
-		return Outcome{Scenario: sc}
-	}
-	o := opf.Prepare(c)
-	res := Outcome{Scenario: sc}
-
-	// Warm start only when the contingency preserves the constraint
-	// layout (an outage of a rated branch changes the µ/Z dimensions).
-	if m != nil && o.Lay.NIq == m.Lay.NIq && o.Lay.NEq == m.Lay.NEq {
-		start := m.Predict(dataset.InputVector(c))
-		if r, err := o.Solve(start, opf.Options{}); err == nil && r.Converged {
-			res.Feasible = true
-			res.Cost = r.Cost
-			res.Iterations = r.Iterations
-			res.WarmUsed = true
-			return res
-		}
-	}
-	if r, err := o.Solve(nil, opf.Options{}); err == nil && r.Converged {
-		res.Feasible = true
-		res.Cost = r.Cost
-		res.Iterations = r.Iterations
-	}
-	return res
-}
-
-// cloneInto copies weights between structurally identical models.
-func cloneInto(src, dst *mtl.Model) {
-	sp := src.Params()
-	dp := dst.Params()
-	for i := range sp {
-		copy(dp[i].Val, sp[i].Val)
-	}
-}
-
 // Summary aggregates screening outcomes.
 type Summary struct {
 	Total, Feasible, WarmConverged int
+	Projected                      int // warm starts accepted on a projected layout
+	Errors                         int // scenarios whose solve/derivation errored
 	MeanIterations                 float64
 	WorstCost                      float64 // highest secure-dispatch cost
 }
@@ -199,6 +441,12 @@ func Summarize(outs []Outcome) Summary {
 		}
 		if o.WarmUsed {
 			s.WarmConverged++
+		}
+		if o.Projected {
+			s.Projected++
+		}
+		if o.Err != nil {
+			s.Errors++
 		}
 	}
 	if s.Feasible > 0 {

@@ -115,6 +115,168 @@ func TestScreenWarmStart(t *testing.T) {
 	}
 }
 
+// trainModel builds a small warm-start model for a case, mirroring the
+// offline pipeline the screening tests warm-start from.
+func trainModel(t *testing.T, c *grid.Case, seed int64) *mtl.Model {
+	t.Helper()
+	o := opf.Prepare(c)
+	set, err := dataset.Generate(c, dataset.DefaultPreparer, dataset.Options{N: 60, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := mtl.Config{Variant: mtl.VariantMTL, Hierarchy: true, DetachPeriod: 4, Seed: seed}
+	m := mtl.New(o.Lay, cfg)
+	if _, err := mtl.Train(m, nil, set, mtl.TrainConfig{Epochs: 150, BatchSize: 12, Seed: seed}); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// sameOutcomes requires bit-identical screening results: same feasibility,
+// exact float equality on cost, same iteration counts and warm-start
+// accounting, matching error presence.
+func sameOutcomes(t *testing.T, got, want []Outcome) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%d outcomes want %d", len(got), len(want))
+	}
+	for i := range got {
+		g, w := got[i], want[i]
+		if g.Feasible != w.Feasible || g.Cost != w.Cost || g.Iterations != w.Iterations ||
+			g.WarmUsed != w.WarmUsed || g.Projected != w.Projected || (g.Err != nil) != (w.Err != nil) {
+			t.Fatalf("outcome %d differs:\n got %+v\nwant %+v", i, g, w)
+		}
+	}
+}
+
+// The engine must reproduce the naive per-scenario-Prepare path bit for
+// bit on a cold N-1 sweep — case9's branches are all rated, so this
+// covers layout-shrinking outages.
+func TestEngineMatchesNaiveCold(t *testing.T) {
+	c := grid.Case9()
+	draws := loadDraws(c.NB(), 2, 3)
+	scenarios := BuildScenarios(draws, Contingencies(c))
+	e := &Engine{Base: c, Workers: 4}
+	sameOutcomes(t, e.Run(scenarios).Outcomes, ScreenNaive(c, nil, scenarios, 4))
+}
+
+// Warm screening on case14 (unrated: every outage keeps the layout) must
+// also pin bit-identical to the naive path — same predictions, same
+// shared-ordering solves.
+func TestEngineMatchesNaiveWarm(t *testing.T) {
+	c := grid.Case14()
+	m := trainModel(t, c, 5)
+	draws := loadDraws(c.NB(), 2, 6)
+	scenarios := BuildScenarios(draws, Contingencies(c)[:4])
+	e := &Engine{Base: c, Model: m, Workers: 4, NoProjection: true}
+	sameOutcomes(t, e.Run(scenarios).Outcomes, ScreenNaive(c, m, scenarios, 4))
+	// Projection has nothing to project on an unrated system: the default
+	// engine must produce the same outcomes.
+	e2 := &Engine{Base: c, Model: m, Workers: 4}
+	sameOutcomes(t, e2.Run(scenarios).Outcomes, ScreenNaive(c, m, scenarios, 4))
+}
+
+// Sequential and parallel engine runs must be bit-identical (the batch
+// engine's core guarantee, preserved through replica pools and shared
+// ordering caches).
+func TestEngineSeqParallelIdentical(t *testing.T) {
+	c := grid.Case9()
+	m := trainModel(t, c, 9)
+	draws := loadDraws(c.NB(), 2, 4)
+	scenarios := BuildScenarios(draws, Contingencies(c)[:3])
+	seq := (&Engine{Base: c, Model: m, Workers: 1}).Run(scenarios)
+	par := (&Engine{Base: c, Model: m, Workers: 4}).Run(scenarios)
+	sameOutcomes(t, par.Outcomes, seq.Outcomes)
+	if len(seq.Classes) != len(par.Classes) || len(seq.Classes) != 4 {
+		t.Fatalf("class counts %d/%d want 4", len(seq.Classes), len(par.Classes))
+	}
+}
+
+// On a rated system the projection makes outage scenarios warm-startable;
+// the naive path cold-solves them. Feasibility must agree exactly and
+// secure-dispatch costs to optimizer precision, while the engine records
+// projected warm hits.
+func TestProjectionWarmStartsRatedOutages(t *testing.T) {
+	c := grid.Case9()
+	m := trainModel(t, c, 5)
+	draws := loadDraws(c.NB(), 3, 11)
+	cons := Contingencies(c)
+	scenarios := BuildScenarios(draws, cons)
+	eng := (&Engine{Base: c, Model: m, Workers: 4}).Run(scenarios)
+	naive := ScreenNaive(c, m, scenarios, 4)
+	sEng, sNaive := Summarize(eng.Outcomes), Summarize(naive)
+	if sEng.Feasible != sNaive.Feasible {
+		t.Fatalf("projection changed feasibility: %d vs %d", sEng.Feasible, sNaive.Feasible)
+	}
+	if sEng.Projected == 0 {
+		t.Fatal("no outage scenario accepted a projected warm start")
+	}
+	if sNaive.Projected != 0 {
+		t.Fatal("naive path reported projected warm starts")
+	}
+	if sEng.WarmConverged <= sNaive.WarmConverged {
+		t.Errorf("projection did not raise the warm-hit count: %d vs %d", sEng.WarmConverged, sNaive.WarmConverged)
+	}
+	for i := range eng.Outcomes {
+		g, w := eng.Outcomes[i], naive[i]
+		if g.Feasible && w.Feasible {
+			if rel := (g.Cost - w.Cost) / w.Cost; rel > 1e-6 || rel < -1e-6 {
+				t.Fatalf("scenario %d: projected cost %.8f vs cold %.8f", i, g.Cost, w.Cost)
+			}
+		}
+		// Intact scenarios take the identical exact-warm path.
+		if g.Scenario.OutBranch < 0 && (g.Cost != w.Cost || g.Iterations != w.Iterations) {
+			t.Fatalf("intact scenario %d not bit-identical", i)
+		}
+	}
+	// Class accounting: one intact class + one per contingency, each
+	// marked with its warm mode.
+	if len(eng.Classes) != len(cons)+1 {
+		t.Fatalf("%d classes want %d", len(eng.Classes), len(cons)+1)
+	}
+	if eng.Classes[0].OutBranch != -1 || eng.Classes[0].WarmMode != "exact" {
+		t.Fatalf("intact class %+v", eng.Classes[0])
+	}
+	for _, cl := range eng.Classes[1:] {
+		if cl.WarmMode != "projected" {
+			t.Fatalf("outage class %+v not projected", cl)
+		}
+	}
+}
+
+// Invalid outage indices and solver failures surface as Outcome.Err and
+// Summary.Errors instead of being conflated with infeasibility.
+func TestOutcomeErrors(t *testing.T) {
+	c := grid.Case9()
+	scenarios := []Scenario{
+		{Factors: ones(c.NB()), OutBranch: -1},
+		{Factors: ones(c.NB()), OutBranch: len(c.Branches) + 3},
+	}
+	for _, outs := range [][]Outcome{
+		(&Engine{Base: c, Workers: 1}).Run(scenarios).Outcomes,
+		ScreenNaive(c, nil, scenarios, 1),
+	} {
+		if outs[0].Err != nil || !outs[0].Feasible {
+			t.Fatalf("base scenario: %+v", outs[0])
+		}
+		if outs[1].Err == nil || outs[1].Feasible {
+			t.Fatalf("invalid outage not reported as error: %+v", outs[1])
+		}
+		sum := Summarize(outs)
+		if sum.Errors != 1 || sum.Feasible != 1 {
+			t.Fatalf("summary %+v", sum)
+		}
+	}
+}
+
+func ones(n int) la.Vector {
+	f := make(la.Vector, n)
+	for i := range f {
+		f[i] = 1
+	}
+	return f
+}
+
 func TestScreenDeterministicOrder(t *testing.T) {
 	c := grid.Case9()
 	s := &Screener{Base: c, Workers: 3}

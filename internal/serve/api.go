@@ -4,7 +4,11 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"math/rand"
 	"time"
+
+	"repro/internal/la"
+	"repro/internal/scopf"
 )
 
 // errUnknownSystem distinguishes "no such system" (404) from malformed
@@ -89,6 +93,184 @@ type HealthResponse struct {
 	Status  string  `json:"status"`
 	Systems int     `json:"systems"`
 	UptimeS float64 `json:"uptime_s"`
+}
+
+// ScreenRequest is the body of POST /v1/screen: an N-1 contingency
+// screening sweep over load draws × branch outages on one system.
+// Load draws come either explicitly (Draws) or sampled uniformly in
+// [1−Spread, 1+Spread] from Seed (NDraws); omitting both screens the
+// base load point. Omitting Contingencies screens every single-branch
+// outage that keeps the network connected.
+type ScreenRequest struct {
+	// System names a loaded system ("case9", …); required.
+	System string `json:"system"`
+	// Draws lists explicit per-bus load multipliers (each of length =
+	// number of buses). Mutually exclusive with NDraws.
+	Draws [][]float64 `json:"draws,omitempty"`
+	// NDraws samples this many load draws from Seed/Spread.
+	NDraws int `json:"n_draws,omitempty"`
+	// Seed seeds the draw sampler (deterministic screening).
+	Seed int64 `json:"seed,omitempty"`
+	// Spread is the half-width of the sampled load band (default 0.1,
+	// the paper's ±10 %).
+	Spread float64 `json:"spread,omitempty"`
+	// Contingencies lists branch indices to outage; nil means the full
+	// connected N-1 set. An empty list screens only the intact topology.
+	Contingencies []int `json:"contingencies,omitempty"`
+	// SkipIntact drops the no-outage scenario of each draw.
+	SkipIntact bool `json:"skip_intact,omitempty"`
+	// Cold forces cold-start screening even when a model is loaded.
+	Cold bool `json:"cold,omitempty"`
+	// Outcomes includes the per-scenario results in the response.
+	Outcomes bool `json:"outcomes,omitempty"`
+}
+
+// ScreenClass reports one topology class of a screening run.
+type ScreenClass struct {
+	OutBranch int    `json:"out_branch"` // -1 = intact topology
+	Scenarios int    `json:"scenarios"`
+	NMu       int    `json:"nmu"`       // inequality rows of the class layout
+	WarmMode  string `json:"warm_mode"` // "exact", "projected" or "cold"
+}
+
+// ScreenOutcome is one scenario's result in a ScreenResponse.
+type ScreenOutcome struct {
+	Draw       int     `json:"draw"`
+	OutBranch  int     `json:"out_branch"`
+	Feasible   bool    `json:"feasible"`
+	Cost       float64 `json:"cost"`
+	Iterations int     `json:"iterations"`
+	Warm       bool    `json:"warm"`
+	Projected  bool    `json:"projected"`
+	Err        string  `json:"err,omitempty"`
+}
+
+// ScreenResponse is the body of a successful POST /v1/screen.
+type ScreenResponse struct {
+	System          string          `json:"system"`
+	Scenarios       int             `json:"scenarios"`
+	Classes         int             `json:"classes"` // prepared topology variants (structure reuse = Scenarios/Classes)
+	Feasible        int             `json:"feasible"`
+	WarmConverged   int             `json:"warm_converged"`
+	Projected       int             `json:"projected"`
+	Errors          int             `json:"errors"`
+	MeanIterations  float64         `json:"mean_iterations"`
+	WorstCost       float64         `json:"worst_cost"`
+	WarmHitRate     float64         `json:"warm_hit_rate"`
+	ElapsedUS       int64           `json:"elapsed_us"`
+	ScenariosPerSec float64         `json:"scenarios_per_sec"`
+	ClassStats      []ScreenClass   `json:"class_stats"`
+	Outcomes        []ScreenOutcome `json:"outcomes,omitempty"`
+}
+
+// Screening bounds: enough for a full N-1 sweep on the largest paper
+// system at a few dozen draws, small enough that one request cannot
+// monopolize the server for minutes unnoticed.
+const (
+	maxScreenDraws     = 1024
+	maxScreenScenarios = 8192
+)
+
+// validateScreen resolves a screening request into the scenario list
+// (draw-major, intact topology first unless skipped) and the draw index
+// of each scenario. Error text is safe for the client.
+func (s *Server) validateScreen(req *ScreenRequest) (*systemState, []scopf.Scenario, []int, error) {
+	if req.System == "" {
+		return nil, nil, nil, fmt.Errorf("missing required field %q", "system")
+	}
+	st, ok := s.systems[req.System]
+	if !ok {
+		return nil, nil, nil, errUnknownSystem
+	}
+	nb := st.sys.Case.NB()
+
+	if req.NDraws < 0 {
+		return nil, nil, nil, fmt.Errorf("n_draws %d out of range (want a positive count)", req.NDraws)
+	}
+	if len(req.Draws) > 0 && req.NDraws > 0 {
+		return nil, nil, nil, fmt.Errorf("fields %q and %q are mutually exclusive", "draws", "n_draws")
+	}
+	var draws []la.Vector
+	switch {
+	case len(req.Draws) > 0:
+		if len(req.Draws) > maxScreenDraws {
+			return nil, nil, nil, fmt.Errorf("%d draws exceed the limit of %d", len(req.Draws), maxScreenDraws)
+		}
+		for d, f := range req.Draws {
+			if len(f) != nb {
+				return nil, nil, nil, fmt.Errorf("draws[%d] has %d entries, system %s has %d buses", d, len(f), req.System, nb)
+			}
+			for i, v := range f {
+				if !validFactor(v) {
+					return nil, nil, nil, fmt.Errorf("draws[%d][%d] = %v out of range (want a positive finite multiplier ≤ %v)", d, i, v, maxFactor)
+				}
+			}
+			draws = append(draws, la.Vector(f).Clone())
+		}
+	case req.NDraws > 0:
+		if req.NDraws > maxScreenDraws {
+			return nil, nil, nil, fmt.Errorf("n_draws %d exceeds the limit of %d", req.NDraws, maxScreenDraws)
+		}
+		spread := req.Spread
+		if spread == 0 {
+			spread = 0.1
+		}
+		if spread < 0 || spread >= 1 {
+			return nil, nil, nil, fmt.Errorf("spread %v out of range (want 0 < spread < 1)", spread)
+		}
+		rng := rand.New(rand.NewSource(req.Seed))
+		for d := 0; d < req.NDraws; d++ {
+			f := make(la.Vector, nb)
+			for i := range f {
+				f[i] = 1 - spread + 2*spread*rng.Float64()
+			}
+			draws = append(draws, f)
+		}
+	default:
+		if req.Spread != 0 {
+			return nil, nil, nil, fmt.Errorf("field %q needs %q", "spread", "n_draws")
+		}
+		f := make(la.Vector, nb)
+		for i := range f {
+			f[i] = 1
+		}
+		draws = append(draws, f)
+	}
+
+	cons := req.Contingencies
+	if cons == nil {
+		cons = scopf.Contingencies(st.sys.Case)
+	}
+	nbr := len(st.sys.Case.Branches)
+	for i, l := range cons {
+		if l < 0 || l >= nbr {
+			return nil, nil, nil, fmt.Errorf("contingencies[%d] = %d outside the %d branches of %s", i, l, nbr, req.System)
+		}
+	}
+	perDraw := len(cons)
+	if !req.SkipIntact {
+		perDraw++
+	}
+	if perDraw == 0 {
+		return nil, nil, nil, fmt.Errorf("nothing to screen: %q with an empty %q", "skip_intact", "contingencies")
+	}
+	if total := len(draws) * perDraw; total > maxScreenScenarios {
+		return nil, nil, nil, fmt.Errorf("%d scenarios (%d draws × %d topologies) exceed the limit of %d", total, len(draws), perDraw, maxScreenScenarios)
+	}
+
+	scenarios := make([]scopf.Scenario, 0, len(draws)*perDraw)
+	drawIdx := make([]int, 0, len(draws)*perDraw)
+	for d, f := range draws {
+		if !req.SkipIntact {
+			scenarios = append(scenarios, scopf.Scenario{Factors: f, OutBranch: -1})
+			drawIdx = append(drawIdx, d)
+		}
+		for _, l := range cons {
+			scenarios = append(scenarios, scopf.Scenario{Factors: f, OutBranch: l})
+			drawIdx = append(drawIdx, d)
+		}
+	}
+	return st, scenarios, drawIdx, nil
 }
 
 // validate checks a decoded request against the registered system and

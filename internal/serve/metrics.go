@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/scopf"
 	"repro/internal/sparse"
 )
 
@@ -20,6 +21,13 @@ var latencyBuckets = []float64{
 
 // batchBuckets are the histogram upper bounds for micro-batch sizes.
 var batchBuckets = []float64{1, 2, 4, 8, 16, 32, 64}
+
+// screenLatencyBuckets are the histogram upper bounds for screening
+// sweeps, which run thousands of solves: seconds to minutes, not the
+// millisecond scale of single solves.
+var screenLatencyBuckets = []float64{
+	0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60, 120, 300, 600,
+}
 
 // histogram is a fixed-bucket Prometheus-style histogram. Callers hold
 // the metrics mutex.
@@ -88,6 +96,19 @@ type metrics struct {
 	warmConverged int64
 	coldRestarts  int64
 
+	// Screening counters, per system: sweeps completed, scenarios
+	// screened, feasible/warm/projected/error outcomes, and topology
+	// classes prepared (scenarios/classes is the prepare-reuse factor;
+	// warm/scenarios the screening warm-hit rate).
+	screens         map[string]int64
+	screenScenarios map[string]int64
+	screenFeasible  map[string]int64
+	screenWarm      map[string]int64
+	screenProjected map[string]int64
+	screenErrors    map[string]int64
+	screenClasses   map[string]int64
+	screenLatency   *histogram
+
 	latency map[string]*histogram // per path
 	batches *histogram
 	started time.Time
@@ -95,13 +116,35 @@ type metrics struct {
 
 func newMetrics() *metrics {
 	return &metrics{
-		requests:   make(map[string]int64),
-		solves:     make(map[string]int64),
-		iterations: make(map[string]int64),
-		latency:    make(map[string]*histogram),
-		batches:    newHistogram(batchBuckets),
-		started:    time.Now(),
+		requests:        make(map[string]int64),
+		solves:          make(map[string]int64),
+		iterations:      make(map[string]int64),
+		screens:         make(map[string]int64),
+		screenScenarios: make(map[string]int64),
+		screenFeasible:  make(map[string]int64),
+		screenWarm:      make(map[string]int64),
+		screenProjected: make(map[string]int64),
+		screenErrors:    make(map[string]int64),
+		screenClasses:   make(map[string]int64),
+		screenLatency:   newHistogram(screenLatencyBuckets),
+		latency:         make(map[string]*histogram),
+		batches:         newHistogram(batchBuckets),
+		started:         time.Now(),
 	}
+}
+
+// recordScreen folds one completed screening sweep into the counters.
+func (m *metrics) recordScreen(system string, sum scopf.Summary, classes int, latency time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.screens[system]++
+	m.screenScenarios[system] += int64(sum.Total)
+	m.screenFeasible[system] += int64(sum.Feasible)
+	m.screenWarm[system] += int64(sum.WarmConverged)
+	m.screenProjected[system] += int64(sum.Projected)
+	m.screenErrors[system] += int64(sum.Errors)
+	m.screenClasses[system] += int64(classes)
+	m.screenLatency.observe(latency.Seconds())
 }
 
 func (m *metrics) recordRequest(endpoint string, code int) {
@@ -191,6 +234,45 @@ func (m *metrics) render(w io.Writer, queueDepth int, kkt []kktStat) {
 	fmt.Fprintln(w, "# HELP pgsimd_batch_size Requests coalesced per micro-batch.")
 	fmt.Fprintln(w, "# TYPE pgsimd_batch_size histogram")
 	m.batches.render(w, "pgsimd_batch_size", "")
+
+	fmt.Fprintln(w, "# HELP pgsimd_screen_sweeps_total Completed /v1/screen contingency sweeps per system.")
+	fmt.Fprintln(w, "# TYPE pgsimd_screen_sweeps_total counter")
+	for _, k := range sortedKeys(m.screens) {
+		fmt.Fprintf(w, "pgsimd_screen_sweeps_total{system=%q} %d\n", k, m.screens[k])
+	}
+	fmt.Fprintln(w, "# HELP pgsimd_screen_scenarios_total Scenarios screened per system.")
+	fmt.Fprintln(w, "# TYPE pgsimd_screen_scenarios_total counter")
+	for _, k := range sortedKeys(m.screenScenarios) {
+		fmt.Fprintf(w, "pgsimd_screen_scenarios_total{system=%q} %d\n", k, m.screenScenarios[k])
+	}
+	fmt.Fprintln(w, "# HELP pgsimd_screen_feasible_total Scenarios that admitted a secure dispatch.")
+	fmt.Fprintln(w, "# TYPE pgsimd_screen_feasible_total counter")
+	for _, k := range sortedKeys(m.screenFeasible) {
+		fmt.Fprintf(w, "pgsimd_screen_feasible_total{system=%q} %d\n", k, m.screenFeasible[k])
+	}
+	fmt.Fprintln(w, "# HELP pgsimd_screen_warm_total Scenarios accepted on a model warm start (hit rate = warm/scenarios).")
+	fmt.Fprintln(w, "# TYPE pgsimd_screen_warm_total counter")
+	for _, k := range sortedKeys(m.screenWarm) {
+		fmt.Fprintf(w, "pgsimd_screen_warm_total{system=%q} %d\n", k, m.screenWarm[k])
+	}
+	fmt.Fprintln(w, "# HELP pgsimd_screen_projected_total Warm starts accepted after projection onto an outage layout.")
+	fmt.Fprintln(w, "# TYPE pgsimd_screen_projected_total counter")
+	for _, k := range sortedKeys(m.screenProjected) {
+		fmt.Fprintf(w, "pgsimd_screen_projected_total{system=%q} %d\n", k, m.screenProjected[k])
+	}
+	fmt.Fprintln(w, "# HELP pgsimd_screen_errors_total Scenarios whose solve or derivation errored.")
+	fmt.Fprintln(w, "# TYPE pgsimd_screen_errors_total counter")
+	for _, k := range sortedKeys(m.screenErrors) {
+		fmt.Fprintf(w, "pgsimd_screen_errors_total{system=%q} %d\n", k, m.screenErrors[k])
+	}
+	fmt.Fprintln(w, "# HELP pgsimd_screen_classes_total Topology classes prepared (prepare reuse = scenarios/classes).")
+	fmt.Fprintln(w, "# TYPE pgsimd_screen_classes_total counter")
+	for _, k := range sortedKeys(m.screenClasses) {
+		fmt.Fprintf(w, "pgsimd_screen_classes_total{system=%q} %d\n", k, m.screenClasses[k])
+	}
+	fmt.Fprintln(w, "# HELP pgsimd_screen_latency_seconds End-to-end latency of screening sweeps.")
+	fmt.Fprintln(w, "# TYPE pgsimd_screen_latency_seconds histogram")
+	m.screenLatency.render(w, "pgsimd_screen_latency_seconds", "")
 
 	fmt.Fprintln(w, "# HELP pgsimd_kkt_symbolic_analyses_total Full KKT factorizations (ordering + pattern analysis + pivoting) per grid.")
 	fmt.Fprintln(w, "# TYPE pgsimd_kkt_symbolic_analyses_total counter")

@@ -1,0 +1,133 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/batch"
+	"repro/internal/scopf"
+)
+
+// handleScreen runs one N-1 screening sweep on the topology-aware
+// engine, reusing the system's prepared OPF structure and — for warm
+// screening — its model replica pool. Sweeps are serialized through
+// screenSem; a second concurrent request sheds with 503 rather than
+// oversubscribing the solver pool.
+func (s *Server) handleScreen(w http.ResponseWriter, r *http.Request) {
+	var req ScreenRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		s.writeErrorAt(w, "/v1/screen", http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
+		return
+	}
+	st, scenarios, drawIdx, err := s.validateScreen(&req)
+	if err != nil {
+		code := http.StatusBadRequest
+		if err == errUnknownSystem {
+			code = http.StatusNotFound
+		}
+		s.writeErrorAt(w, "/v1/screen", code, err.Error())
+		return
+	}
+	select {
+	case s.screenSem <- struct{}{}:
+	default:
+		s.writeErrorAt(w, "/v1/screen", http.StatusServiceUnavailable, "a screening sweep is already running, retry later")
+		return
+	}
+	defer func() { <-s.screenSem }()
+
+	var preds []scopf.Predictor
+	if st.pool != nil && !req.Cold {
+		preds = s.borrowPredictors(st, len(scenarios))
+		defer func() {
+			for _, p := range preds {
+				st.pool <- p
+			}
+		}()
+	}
+
+	eng := &scopf.Engine{
+		Base:       st.sys.Case,
+		Prepared:   st.sys.OPF,
+		Predictors: preds,
+		Workers:    s.cfg.Workers,
+	}
+	t0 := time.Now()
+	rep := eng.Run(scenarios)
+	elapsed := time.Since(t0)
+
+	sum := scopf.Summarize(rep.Outcomes)
+	resp := &ScreenResponse{
+		System:         st.sys.Name,
+		Scenarios:      sum.Total,
+		Classes:        len(rep.Classes),
+		Feasible:       sum.Feasible,
+		WarmConverged:  sum.WarmConverged,
+		Projected:      sum.Projected,
+		Errors:         sum.Errors,
+		MeanIterations: sum.MeanIterations,
+		WorstCost:      sum.WorstCost,
+		ElapsedUS:      usec(elapsed),
+	}
+	if sum.Total > 0 {
+		resp.WarmHitRate = float64(sum.WarmConverged) / float64(sum.Total)
+	}
+	if sec := elapsed.Seconds(); sec > 0 {
+		resp.ScenariosPerSec = float64(sum.Total) / sec
+	}
+	for _, cl := range rep.Classes {
+		resp.ClassStats = append(resp.ClassStats, ScreenClass{
+			OutBranch: cl.OutBranch, Scenarios: cl.Scenarios, NMu: cl.NIq, WarmMode: cl.WarmMode,
+		})
+	}
+	if req.Outcomes {
+		resp.Outcomes = make([]ScreenOutcome, len(rep.Outcomes))
+		for i, o := range rep.Outcomes {
+			so := ScreenOutcome{
+				Draw: drawIdx[i], OutBranch: o.Scenario.OutBranch,
+				Feasible: o.Feasible, Cost: o.Cost, Iterations: o.Iterations,
+				Warm: o.WarmUsed, Projected: o.Projected,
+			}
+			if o.Err != nil {
+				so.Err = o.Err.Error()
+			}
+			resp.Outcomes[i] = so
+		}
+	}
+	s.met.recordScreen(st.sys.Name, sum, len(rep.Classes), elapsed)
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// borrowPredictors takes model replicas from the system's pool for the
+// duration of a sweep: one blocking receive (there is always at least
+// one replica), then whatever else is idle, up to the engine's worker
+// count but always leaving one replica behind so concurrent /v1/solve
+// warm starts keep flowing instead of stalling the dispatcher for the
+// whole sweep. A single-replica pool is the unavoidable exception:
+// solves for that system then wait until the sweep returns it.
+func (s *Server) borrowPredictors(st *systemState, scenarios int) []scopf.Predictor {
+	want := batch.Workers(s.cfg.Workers)
+	if want > scenarios {
+		want = scenarios
+	}
+	if max := cap(st.pool) - 1; want > max {
+		want = max
+	}
+	if want < 1 {
+		want = 1
+	}
+	preds := []scopf.Predictor{<-st.pool}
+	for len(preds) < want {
+		select {
+		case p := <-st.pool:
+			preds = append(preds, p)
+		default:
+			return preds
+		}
+	}
+	return preds
+}

@@ -24,10 +24,20 @@
 // Endpoints:
 //
 //	POST /v1/solve    solve one load instance (SolveRequest → SolveResponse)
+//	POST /v1/screen   N-1 contingency screening sweep (ScreenRequest →
+//	                  ScreenResponse) on the topology-aware scopf.Engine
 //	GET  /v1/systems  loaded systems, sizes, model availability
 //	GET  /healthz     liveness + uptime
 //	GET  /metrics     Prometheus text: request/solve counters, warm-start
-//	                  hit rate, latency and batch-size histograms
+//	                  hit rate, latency and batch-size histograms, and the
+//	                  pgsimd_screen_* screening counters
+//
+// Screening runs outside the micro-batch queue — a sweep is itself a
+// batch, fanned out on the worker pool by the engine — and is serialized:
+// one screen at a time, a concurrent request sheds with 503. A warm
+// screen borrows the system's idle model replicas and returns them when
+// the sweep completes; solve requests arriving meanwhile fall back to
+// waiting for a free replica.
 //
 // Backpressure is explicit: at most Config.QueueDepth requests wait for
 // the dispatcher; beyond that the server sheds load with 503 rather than
@@ -96,30 +106,33 @@ type systemState struct {
 // before exposing Handler; Close stops the dispatcher after the HTTP
 // listener has drained.
 type Server struct {
-	cfg     Config
-	mux     *http.ServeMux
-	systems map[string]*systemState
-	names   []string // registration order, for /v1/systems
-	queue   chan *job
-	done    chan struct{}
-	wg      sync.WaitGroup
-	met     *metrics
-	started time.Time
+	cfg       Config
+	mux       *http.ServeMux
+	systems   map[string]*systemState
+	names     []string // registration order, for /v1/systems
+	queue     chan *job
+	done      chan struct{}
+	wg        sync.WaitGroup
+	met       *metrics
+	started   time.Time
+	screenSem chan struct{} // serializes /v1/screen sweeps
 }
 
 // New builds a server and starts its micro-batch dispatcher.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:     cfg,
-		mux:     http.NewServeMux(),
-		systems: make(map[string]*systemState),
-		queue:   make(chan *job, cfg.QueueDepth),
-		done:    make(chan struct{}),
-		met:     newMetrics(),
-		started: time.Now(),
+		cfg:       cfg,
+		mux:       http.NewServeMux(),
+		systems:   make(map[string]*systemState),
+		queue:     make(chan *job, cfg.QueueDepth),
+		done:      make(chan struct{}),
+		met:       newMetrics(),
+		started:   time.Now(),
+		screenSem: make(chan struct{}, 1),
 	}
 	s.mux.HandleFunc("POST /v1/solve", s.handleSolve)
+	s.mux.HandleFunc("POST /v1/screen", s.handleScreen)
 	s.mux.HandleFunc("GET /v1/systems", s.handleSystems)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -272,10 +285,14 @@ func (s *Server) writeJSON(w http.ResponseWriter, code int, v any) {
 }
 
 func (s *Server) writeError(w http.ResponseWriter, code int, msg string) {
+	s.writeErrorAt(w, "/v1/solve", code, msg)
+}
+
+func (s *Server) writeErrorAt(w http.ResponseWriter, endpoint string, code int, msg string) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	_ = json.NewEncoder(w).Encode(ErrorResponse{Error: msg})
-	s.met.recordRequest("/v1/solve", code)
+	s.met.recordRequest(endpoint, code)
 }
 
 // endpointLabel maps a response type to its metrics label.
@@ -283,6 +300,8 @@ func endpointLabel(v any) string {
 	switch v.(type) {
 	case *SolveResponse:
 		return "/v1/solve"
+	case *ScreenResponse:
+		return "/v1/screen"
 	case SystemsResponse:
 		return "/v1/systems"
 	case HealthResponse:
