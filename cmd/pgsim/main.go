@@ -38,16 +38,13 @@ func main() {
 	scale := flag.String("scale", "1.0", "uniform load scaling factor, or a comma-separated sweep (e.g. 0.9,1.0,1.1)")
 	trace := flag.Bool("trace", false, "print per-iteration convergence trace")
 	workers := flag.Int("workers", 0, "worker pool size for batch stages (0 = PGSIM_WORKERS or all cores)")
-	ordering := flag.String("ordering", "rcm", "fill-reducing ordering for the KKT factorization (natural, rcm, amd)")
+	ordering := flag.String("ordering", "", "fill-reducing ordering for the KKT factorization: natural, rcm, amd or auto (default: per-system selection, see opf.DefaultOrdering)")
 	kktReuse := flag.Bool("kkt-reuse", true, "reuse the symbolic KKT factorization across interior-point iterations")
 	flag.Parse()
 	batch.SetDefaultWorkers(*workers)
-	ord, err := sparse.ParseOrdering(*ordering)
-	if err != nil {
-		log.Fatal(err)
-	}
 
 	var c *grid.Case
+	var err error
 	if *file != "" {
 		f, ferr := os.Open(*file)
 		if ferr != nil {
@@ -66,7 +63,7 @@ func main() {
 		log.Fatal(err)
 	}
 	if len(scales) > 1 {
-		sweep(c, scales, ord, !*kktReuse)
+		sweep(c, scales, *ordering, !*kktReuse)
 		return
 	}
 	if s := scales[0]; s != 1.0 {
@@ -78,8 +75,8 @@ func main() {
 	}
 
 	o := opf.Prepare(c)
-	if ord != sparse.OrderRCM {
-		o.SetOrdering(ord)
+	if err := applyOrdering(o, *ordering); err != nil {
+		log.Fatal(err)
 	}
 	r, err := o.Solve(nil, opf.Options{RecordTrace: *trace, NoKKTReuse: !*kktReuse})
 	if err != nil {
@@ -93,9 +90,9 @@ func main() {
 	if *kktReuse {
 		st := o.KKTStats()
 		fmt.Printf("KKT: ordering=%s, %d symbolic analyses, %d numeric refactors, %d fallbacks\n",
-			ord, st.Analyses, st.Refactors, st.Fallbacks)
+			o.Ordering(), st.Analyses, st.Refactors, st.Fallbacks)
 	} else {
-		fmt.Printf("KKT: ordering=%s, symbolic reuse disabled (one full factorization per iteration)\n", ord)
+		fmt.Printf("KKT: ordering=%s, symbolic reuse disabled (one full factorization per iteration)\n", o.Ordering())
 	}
 	fmt.Printf("objective: %.2f $/hr\n\n", r.Cost)
 	fmt.Printf("%-6s %10s %10s\n", "bus", "Vm (pu)", "Va (deg)")
@@ -129,13 +126,28 @@ func parseScales(s string) ([]float64, error) {
 	return out, nil
 }
 
+// applyOrdering resolves the -ordering flag: empty keeps the per-system
+// default selected by opf.Prepare; any other value is parsed and forced
+// onto the instance.
+func applyOrdering(o *opf.OPF, flagVal string) error {
+	if flagVal == "" {
+		return nil
+	}
+	ord, err := sparse.ParseOrdering(flagVal)
+	if err != nil {
+		return err
+	}
+	o.SetOrdering(ord)
+	return nil
+}
+
 // sweep solves the case at every load level on the worker pool, reusing
 // the prepared OPF structure (and its shared KKT ordering cache), and
 // prints one summary row per level.
-func sweep(c *grid.Case, scales []float64, ord sparse.Ordering, noReuse bool) {
+func sweep(c *grid.Case, scales []float64, ordering string, noReuse bool) {
 	base := opf.Prepare(c)
-	if ord != sparse.OrderRCM {
-		base.SetOrdering(ord)
+	if err := applyOrdering(base, ordering); err != nil {
+		log.Fatal(err)
 	}
 	type row struct {
 		r   *opf.Result
@@ -169,6 +181,6 @@ func sweep(c *grid.Case, scales []float64, ord sparse.Ordering, noReuse bool) {
 	if !noReuse {
 		st := base.KKTStats()
 		fmt.Printf("KKT: ordering=%s, %d ordering computation(s) shared across the sweep, %d symbolic analyses, %d numeric refactors, %d fallbacks\n",
-			ord, st.Orderings, st.Analyses, st.Refactors, st.Fallbacks)
+			base.Ordering(), st.Orderings, st.Analyses, st.Refactors, st.Fallbacks)
 	}
 }

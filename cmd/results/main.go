@@ -1,0 +1,167 @@
+// Command results renders RESULTS.md — the paper-vs-reproduction
+// comparison — from the BENCH_paper.json written by
+// BenchmarkPaperSystems. Regenerate both with:
+//
+//	go test -run '^$' -bench BenchmarkPaperSystems -benchtime 1x .
+//	go run ./cmd/results
+//
+// A filtered benchmark run (e.g. CI's -bench 'PaperSystems/case57$')
+// produces a JSON with a subset of systems; results renders whatever
+// rows are present, so the committed RESULTS.md should come from a
+// full sweep.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/opf"
+)
+
+type systemRow struct {
+	Buses            int            `json:"buses"`
+	Gens             int            `json:"gens"`
+	Branches         int            `json:"branches"`
+	RatedBranches    int            `json:"rated_branches"`
+	NEq              int            `json:"neq"`
+	NIq              int            `json:"niq"`
+	Draws            int            `json:"draws"`
+	Epochs           int            `json:"epochs"`
+	Problems         int            `json:"problems"`
+	ColdIters        float64        `json:"cold_iters"`
+	WarmIters        float64        `json:"warm_iters"`
+	ColdMsPerProblem float64        `json:"cold_ms_per_problem"`
+	WarmMsPerProblem float64        `json:"warm_ms_per_problem"`
+	SuccessRate      float64        `json:"success_rate"`
+	Speedup          float64        `json:"speedup"`
+	OptimalityGap    float64        `json:"optimality_gap"`
+	KKTN             int            `json:"kkt_n"`
+	KKTFill          map[string]int `json:"kkt_fill"`
+	KKTOrdering      string         `json:"kkt_ordering"`
+}
+
+type report struct {
+	Benchmark  string `json:"benchmark"`
+	ProducedBy string `json:"produced_by"`
+	PaperClaim struct {
+		AvgSpeedup float64 `json:"avg_speedup"`
+		Source     string  `json:"source"`
+	} `json:"paper_claim"`
+	MeasuredAvgSpeedup float64              `json:"measured_avg_speedup"`
+	Systems            map[string]systemRow `json:"systems"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("results: ")
+	in := flag.String("in", "BENCH_paper.json", "benchmark report to render")
+	out := flag.String("out", "RESULTS.md", "markdown file to write")
+	flag.Parse()
+
+	buf, err := os.ReadFile(*in)
+	if err != nil {
+		log.Fatalf("%v (run the benchmark first: go test -run '^$' -bench BenchmarkPaperSystems -benchtime 1x .)", err)
+	}
+	var r report
+	if err := json.Unmarshal(buf, &r); err != nil {
+		log.Fatalf("parsing %s: %v", *in, err)
+	}
+	if len(r.Systems) == 0 {
+		log.Fatalf("%s has no system rows", *in)
+	}
+	names := make([]string, 0, len(r.Systems))
+	for n := range r.Systems {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(i, j int) bool { return r.Systems[names[i]].Buses < r.Systems[names[j]].Buses })
+
+	var b strings.Builder
+	w := func(format string, args ...any) { fmt.Fprintf(&b, format+"\n", args...) }
+
+	w("# RESULTS — warm-start speedup on the paper's systems")
+	w("")
+	w("Reproduction of the headline claim of conf_sc_DongXKL20 (\"an average")
+	w("2.60× speedup over the original MIPS solver on standard IEEE test")
+	w("systems (up to 300 buses) without losing solution optimality\") on the")
+	w("embedded fleet. Every row is one full offline+online pipeline run —")
+	w("±10 %% load-draw dataset generation, Smart-PGSim training, then each")
+	w("held-out problem solved cold (MIPS baseline) and through the")
+	w("predict→warm-solve→fallback pipeline. Numbers regenerate with:")
+	w("")
+	w("```sh")
+	w("go test -run '^$' -bench BenchmarkPaperSystems -benchtime 1x .")
+	w("go run ./cmd/results")
+	w("```")
+	w("")
+	w("This file was rendered from `%s` (benchmark %q).", *in, r.Benchmark)
+	w("")
+	w("## Speedup vs the paper")
+	w("")
+	w("| system | buses | gens | branches (rated) | #λ | #µ | problems | cold iters | warm iters | success rate | speedup | optimality gap |")
+	w("|---|---|---|---|---|---|---|---|---|---|---|---|")
+	for _, n := range names {
+		s := r.Systems[n]
+		w("| %s | %d | %d | %d (%d) | %d | %d | %d | %.1f | %.1f | %.0f%% | **%.2f×** | %.1e |",
+			n, s.Buses, s.Gens, s.Branches, s.RatedBranches, s.NEq, s.NIq,
+			s.Problems, s.ColdIters, s.WarmIters, s.SuccessRate*100, s.Speedup, s.OptimalityGap)
+	}
+	w("")
+	w("**Measured average: %.2f× (paper claims %.2f× average).** The", r.MeasuredAvgSpeedup, r.PaperClaim.AvgSpeedup)
+	w("optimality-gap column is the mean relative cost difference between the")
+	w("warm-started and cold solutions — the paper's \"without losing solution")
+	w("optimality\" check; failed warm starts fall back to a cold restart, so")
+	w("the accepted solution is always a converged optimum.")
+	w("")
+	w("The speedup grows with system size — exactly the paper's regime: the")
+	w("cold interior-point iteration count climbs with the network while the")
+	w("warm-started count stays flat, and each saved iteration is worth more")
+	w("at scale. The flip side is visible on case30: a small system with the")
+	w("IEEE file's tight flow limits solves cold in ~14 ms, and predicted")
+	w("µ/Z values sitting near those active limits disturb the interior-")
+	w("point centering more than they help, so the warm path loses ground")
+	w("there (more data does not fix it; it is a property of the regime,")
+	w("not of the corpus).")
+	w("")
+	w("Caveats when comparing to the paper: the offline phase here is the")
+	w("bench profile (per-system draws/epochs below, hundreds of times")
+	w("smaller than the paper's 10,000-sample corpus), the embedded")
+	w("case57/118/300 carry derived branch ratings where the IEEE files have")
+	w("none (see internal/grid/cases.go), and case300 is the frozen")
+	w("Table II-scale reconstruction, not the original case file. A larger")
+	w("corpus (core.TrainingDefaults or the EXPERIMENTS.md full-sweep")
+	w("recipe) pushes the success rate — and with it the speedup — up.")
+	w("")
+	w("## Per-system solve cost and offline profile")
+	w("")
+	w("| system | cold ms/problem | warm ms/problem | draws | epochs |")
+	w("|---|---|---|---|---|")
+	for _, n := range names {
+		s := r.Systems[n]
+		w("| %s | %.1f | %.1f | %d | %d |", n, s.ColdMsPerProblem, s.WarmMsPerProblem, s.Draws, s.Epochs)
+	}
+	w("")
+	w("## KKT fill by ordering (why the ordering is probed per system)")
+	w("")
+	w("LU factor nonzeros of the bordered KKT proxy; `selected` is what")
+	w("`opf.Prepare` chose (fixed RCM below %d buses, fill-probing `auto`", opf.AutoOrderingBuses)
+	w("at and above — see DESIGN.md §9).")
+	w("")
+	w("| system | KKT n | natural | rcm | amd | selected |")
+	w("|---|---|---|---|---|---|")
+	for _, n := range names {
+		s := r.Systems[n]
+		w("| %s | %d | %d | %d | %d | %s |", n, s.KKTN, s.KKTFill["natural"], s.KKTFill["rcm"], s.KKTFill["amd"], s.KKTOrdering)
+	}
+	w("")
+
+	if err := os.WriteFile(*out, []byte(b.String()), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote %s (%d systems, avg speedup %.2fx vs paper %.2fx)",
+		*out, len(names), r.MeasuredAvgSpeedup, r.PaperClaim.AvgSpeedup)
+}

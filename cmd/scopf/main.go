@@ -10,7 +10,7 @@
 //
 //	scopf -case case30 -draws 8
 //	scopf -case case9 -draws 4 -train 60 -epochs 150     # warm-start screening
-//	scopf -case case14 -contingencies 0,3,7 -workers 8
+//	scopf -case case57 -contingencies 0,3,7 -workers 8   # explicit RATED branches only
 //	scopf -case case30 -draws 16 -json > screen.json
 //	scopf -case case14 -draws 8 -naive                   # reference baseline
 package main
@@ -29,6 +29,7 @@ import (
 	"repro/internal/batch"
 	"repro/internal/casegen"
 	"repro/internal/core"
+	"repro/internal/grid"
 	"repro/internal/la"
 	"repro/internal/mtl"
 	"repro/internal/opf"
@@ -43,13 +44,13 @@ func main() {
 	nDraws := flag.Int("draws", 4, "number of load draws to cross with the contingencies")
 	seed := flag.Int64("seed", 1, "load-draw sampling seed")
 	spread := flag.Float64("spread", 0.1, "half-width of the load band (0.1 = the paper's ±10 %)")
-	contingencies := flag.String("contingencies", "all", "branch outages to screen: all (connected N-1 set), none, or a comma-separated index list")
+	contingencies := flag.String("contingencies", "all", "branch outages to screen: all (connected N-1 set), none, or a comma-separated index list into the case's branch table; explicit indices must name RATED in-service branches (RateA > 0) — outages of unrated branches leave the flow-constraint layout unchanged and are not screening contingencies")
 	skipIntact := flag.Bool("skip-intact", false, "drop the no-outage scenario of each draw")
 	trainN := flag.Int("train", 0, "train a warm-start model on this many intact-system samples first (0 = cold screening)")
-	epochs := flag.Int("epochs", 150, "training epochs for -train")
+	epochs := flag.Int("epochs", 0, "training epochs for -train (0 = per-system default, see core.TrainingDefaults)")
 	variantName := flag.String("variant", "mtl", "model variant for -train: sep, mtl or smartpgsim")
 	workers := flag.Int("workers", 0, "worker pool size (0 = PGSIM_WORKERS or all cores)")
-	ordering := flag.String("ordering", "rcm", "fill-reducing ordering for the KKT factorization (natural, rcm, amd)")
+	ordering := flag.String("ordering", "", "fill-reducing ordering for the KKT factorization: natural, rcm, amd or auto (default: per-system selection, see opf.DefaultOrdering)")
 	naive := flag.Bool("naive", false, "use the per-scenario-rebuild reference path instead of the topology-aware engine")
 	noProjection := flag.Bool("no-projection", false, "disable warm-start projection onto outage layouts")
 	jsonOut := flag.Bool("json", false, "print a machine-readable JSON summary instead of tables")
@@ -57,16 +58,16 @@ func main() {
 	flag.Parse()
 	batch.SetDefaultWorkers(*workers)
 
-	ord, err := sparse.ParseOrdering(*ordering)
-	if err != nil {
-		log.Fatal(err)
-	}
 	c, err := casegen.Paper(*caseName)
 	if err != nil {
 		log.Fatal(err)
 	}
 	base := opf.Prepare(c)
-	if ord != sparse.OrderRCM {
+	if *ordering != "" {
+		ord, err := sparse.ParseOrdering(*ordering)
+		if err != nil {
+			log.Fatal(err)
+		}
 		base.SetOrdering(ord)
 	}
 
@@ -77,19 +78,23 @@ func main() {
 			log.Fatal(err)
 		}
 		sys := &core.System{Name: c.Name, Case: c, OPF: base}
-		log.Printf("training: %d samples on the intact %s", *trainN, c.Name)
+		ep := *epochs
+		if ep == 0 {
+			_, ep = core.TrainingDefaults(c.NB())
+		}
+		log.Printf("training: %d samples, %d epochs on the intact %s", *trainN, ep, c.Name)
 		set, err := sys.GenerateData(*trainN, *seed)
 		if err != nil {
 			log.Fatal(err)
 		}
 		train, _ := set.Split(0.8)
-		model, err = sys.TrainModel(variant, train, *epochs, *seed, nil)
+		model, err = sys.TrainModel(variant, train, ep, *seed, nil)
 		if err != nil {
 			log.Fatal(err)
 		}
 	}
 
-	cons, err := parseContingencies(*contingencies, len(c.Branches), func() []int { return scopf.Contingencies(c) })
+	cons, err := parseContingencies(*contingencies, c, func() []int { return scopf.Contingencies(c) })
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -134,7 +139,7 @@ func main() {
 	if *naive {
 		mode = "naive per-scenario rebuild"
 	}
-	fmt.Printf("path: %s, %s ordering, %d workers\n", mode, ord, batch.Workers(*workers))
+	fmt.Printf("path: %s, %s ordering, %d workers\n", mode, base.Ordering(), batch.Workers(*workers))
 	fmt.Printf("secure: %d/%d feasible, worst cost %.2f $/hr, mean %.1f iterations\n",
 		sum.Feasible, sum.Total, sum.WorstCost, sum.MeanIterations)
 	if model != nil {
@@ -219,12 +224,25 @@ func printJSON(name string, naive bool, sum scopf.Summary, classes []scopf.Class
 
 // parseContingencies resolves the -contingencies flag; indices address
 // Case.Branches (the full list, not only in-service branches).
-func parseContingencies(s string, nbr int, all func() []int) ([]int, error) {
+// Explicit index lists are restricted to rated in-service branches:
+// screening exists to check flow-limit security under outages, and an
+// unrated branch's outage changes no inequality row, so naming one is
+// almost always a stale index from a different system. The error spells
+// out the branch's status and the case's rated count so the fix is
+// obvious. ("all" applies the connected-N-1 filter instead, which
+// includes unrated branches for layout-coverage parity with the tests.)
+func parseContingencies(s string, c *grid.Case, all func() []int) ([]int, error) {
 	switch s {
 	case "all":
 		return all(), nil
 	case "none", "":
 		return nil, nil
+	}
+	rated := 0
+	for _, br := range c.Branches {
+		if br.Status && br.RateA > 0 {
+			rated++
+		}
 	}
 	var out []int
 	for _, p := range strings.Split(s, ",") {
@@ -232,8 +250,16 @@ func parseContingencies(s string, nbr int, all func() []int) ([]int, error) {
 		if err != nil {
 			return nil, fmt.Errorf("bad -contingencies entry %q: %v", p, err)
 		}
-		if l < 0 || l >= nbr {
-			return nil, fmt.Errorf("-contingencies entry %d outside [0, %d)", l, nbr)
+		if l < 0 || l >= len(c.Branches) {
+			return nil, fmt.Errorf("-contingencies entry %d outside [0, %d) for %s", l, len(c.Branches), c.Name)
+		}
+		br := c.Branches[l]
+		switch {
+		case !br.Status:
+			return nil, fmt.Errorf("-contingencies entry %d: branch %d-%d of %s is out of service", l, br.From, br.To, c.Name)
+		case br.RateA <= 0:
+			return nil, fmt.Errorf("-contingencies entry %d: branch %d-%d of %s is unrated — explicit contingencies must name rated branches (%s has %d of %d); use -contingencies all for the connected N-1 set",
+				l, br.From, br.To, c.Name, c.Name, rated, len(c.Branches))
 		}
 		out = append(out, l)
 	}

@@ -33,7 +33,7 @@ func main() {
 	for i := range names {
 		names[i] = strings.TrimSpace(names[i])
 	}
-	// Resolve every system upfront — the synthetic Table II profiles are
+	// Resolve every system upfront — case39's synthetic Table II profile is
 	// built concurrently on the worker pool.
 	syss, err := core.LoadSystems(names)
 	if err != nil {

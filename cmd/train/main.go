@@ -24,7 +24,7 @@ func main() {
 	caseName := flag.String("case", "case9", "test system the dataset was generated on")
 	data := flag.String("data", "", "dataset file from cmd/traingen (required)")
 	variantName := flag.String("variant", "smartpgsim", "model variant: sep, mtl or smartpgsim")
-	epochs := flag.Int("epochs", 300, "training epochs")
+	epochs := flag.Int("epochs", 0, "training epochs (0 = per-system default, see core.TrainingDefaults)")
 	seed := flag.Int64("seed", 1, "initialization seed")
 	out := flag.String("out", "", "output model file (default <case>.model)")
 	workers := flag.Int("workers", 0, "parallel evaluation workers (0 = PGSIM_WORKERS or all cores)")
@@ -57,8 +57,11 @@ func main() {
 	if set.CaseName != sys.Name {
 		log.Fatalf("dataset was generated on %q, not %q", set.CaseName, sys.Name)
 	}
+	if *epochs == 0 {
+		_, *epochs = core.TrainingDefaults(sys.Case.NB())
+	}
 	train, val := set.Split(0.8)
-	log.Printf("training %s on %d samples (%d held out)", variant, len(train.Samples), len(val.Samples))
+	log.Printf("training %s on %d samples for %d epochs (%d held out)", variant, len(train.Samples), *epochs, len(val.Samples))
 	m, err := sys.TrainModel(variant, train, *epochs, *seed, log.Printf)
 	if err != nil {
 		log.Fatal(err)

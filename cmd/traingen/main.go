@@ -21,7 +21,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("traingen: ")
 	caseName := flag.String("case", "case9", "test system")
-	n := flag.Int("n", 500, "number of load samples")
+	n := flag.Int("n", 0, "number of load samples (0 = per-system default, see core.TrainingDefaults; the paper uses 10,000)")
 	seed := flag.Int64("seed", 1, "sampling seed")
 	out := flag.String("out", "", "output file (default <case>.ds)")
 	workers := flag.Int("workers", 0, "parallel solve workers (0 = PGSIM_WORKERS or all cores)")
@@ -34,6 +34,10 @@ func main() {
 	sys, err := core.LoadSystem(*caseName)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *n == 0 {
+		*n, _ = core.TrainingDefaults(sys.Case.NB())
+		log.Printf("using the %s default of %d samples (-n overrides)", sys.Name, *n)
 	}
 	t0 := time.Now()
 	set, err := sys.GenerateData(*n, *seed)

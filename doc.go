@@ -19,11 +19,13 @@
 // sweeps), traingen and train (the offline phase as artifacts),
 // smartpgsim (the full pipeline and paper figures), sensitivity and
 // scaling (Table I and Figure 9), scopf (N-1 contingency screening on
-// the topology-aware engine), and pgsimd — the long-running warm-start
-// OPF serving daemon with an HTTP/JSON API (README.md
-// documents the endpoints). Runnable examples live under examples/,
-// and bench_test.go in this directory regenerates every table and
-// figure of the paper — see DESIGN.md and EXPERIMENTS.md.
+// the topology-aware engine), results (renders BENCH_paper.json — the
+// per-system warm-start speedups of the embedded IEEE fleet, up to
+// case300 — into the RESULTS.md paper comparison), and pgsimd — the
+// long-running warm-start OPF serving daemon with an HTTP/JSON API
+// (README.md documents the endpoints). Runnable examples live under
+// examples/, and bench_test.go in this directory regenerates every
+// table and figure of the paper — see DESIGN.md and EXPERIMENTS.md.
 package smartpgsim
 
 // Version identifies the reproduction release.

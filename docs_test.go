@@ -1,0 +1,65 @@
+package smartpgsim_test
+
+// Docs coverage check (run by CI's docs job): the README system matrix
+// and the RESULTS.md comparison must mention every system casegen.Paper
+// exposes, so adding a system to the fleet without documenting it — or
+// regenerating RESULTS.md from a partial benchmark run — fails fast.
+
+import (
+	"os"
+	"regexp"
+	"testing"
+
+	"repro/internal/casegen"
+)
+
+func mustRead(t *testing.T, path string) string {
+	t.Helper()
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("docs check: %v", err)
+	}
+	return string(buf)
+}
+
+// mentions reports whether doc contains name as a whole word (so
+// "case30" does not satisfy a "case3" lookup and vice versa).
+func mentions(doc, name string) bool {
+	return regexp.MustCompile(`\b` + regexp.QuoteMeta(name) + `\b`).MatchString(doc)
+}
+
+// TestDocsSystemMatrixCoverage: README.md must name every paper system
+// (the "Embedded systems" matrix plus the synthesized case39 row).
+func TestDocsSystemMatrixCoverage(t *testing.T) {
+	readme := mustRead(t, "README.md")
+	for _, name := range casegen.SensitivitySystemNames() {
+		if !mentions(readme, name) {
+			t.Errorf("README.md does not mention %s (system matrix out of date?)", name)
+		}
+	}
+}
+
+// TestResultsCoverage: RESULTS.md must carry a row for every system the
+// paper-scale benchmark sweeps (the BenchmarkPaperSystems set — the
+// embedded systems at and above case30).
+func TestResultsCoverage(t *testing.T) {
+	results := mustRead(t, "RESULTS.md")
+	for _, name := range []string{"case30", "case57", "case118", "case300"} {
+		if !mentions(results, name) {
+			t.Errorf("RESULTS.md does not mention %s — regenerate from a full sweep (see EXPERIMENTS.md §Paper-scale sweep)", name)
+		}
+	}
+	if !mentions(results, "2.60") {
+		t.Error("RESULTS.md does not state the paper's 2.60x claim")
+	}
+}
+
+// TestEmbeddedNamesResolve: every name EmbeddedNames advertises must
+// resolve through Paper (the docs and benches iterate this list).
+func TestEmbeddedNamesResolve(t *testing.T) {
+	for _, name := range casegen.EmbeddedNames() {
+		if _, err := casegen.Paper(name); err != nil {
+			t.Errorf("EmbeddedNames lists %s but Paper fails: %v", name, err)
+		}
+	}
+}

@@ -1,13 +1,18 @@
-// Package casegen synthesizes IEEE-like AC power systems of arbitrary
-// size with a certified-feasible operating point.
+// Package casegen resolves the paper's evaluation systems by name
+// (Paper) and synthesizes IEEE-like AC power systems of arbitrary size
+// with a certified-feasible operating point (Generate).
 //
-// The paper evaluates on the standard IEEE 30/39/57/118/300-bus Matpower
-// cases. Those data files are not redistributable here, so this package
-// builds deterministic synthetic systems with the same bus/generator/
-// branch counts (Table II of the paper) and realistic parameter ranges,
-// then runs a Newton power flow to certify that the base operating point
-// is solvable — exactly the property the paper's ±10 % load-sampling
-// workload depends on. See DESIGN.md ("Substitutions").
+// Paper serves embedded data for every system of the paper's Table II
+// except case39: case5, case9, case14, case30, case57, case118 and
+// case300 live in internal/grid (see the provenance notes in
+// internal/grid/cases.go), each with a fully rated branch set so flow
+// constraints and N-1 screening behave as at paper scale. case39 — and
+// any ad-hoc size — is synthesized here: Generate builds deterministic
+// systems with the requested bus/generator/branch counts and realistic
+// parameter ranges, then runs a Newton power flow to certify that the
+// base operating point is solvable — exactly the property the paper's
+// ±10 % load-sampling workload depends on. See DESIGN.md §9 and
+// ("Substitutions").
 package casegen
 
 import (
@@ -39,9 +44,11 @@ type Spec struct {
 // PaperSpecs returns the size profiles of the systems used in the paper's
 // evaluation (Table II), keyed by their conventional names. The counts
 // for λ and µ follow from these sizes exactly as in the paper. The
-// case30 profile is retained for the synthetic-generator tests even
-// though Paper serves the embedded IEEE data (grid.Case30) for that
-// name.
+// case30/case57/case118/case300 profiles are retained for the
+// synthetic-generator tests even though Paper serves embedded data
+// (grid.Case30 … grid.Case300) for those names; note the embedded
+// case118 carries the case file's 186 branches, one more than the
+// paper's Table II count reproduced here.
 func PaperSpecs() map[string]Spec {
 	return map[string]Spec{
 		"case30":  {Name: "case30", Buses: 30, Gens: 6, Branches: 41, RatedBranches: 41, Seed: 30},
@@ -105,8 +112,8 @@ func Systems(names []string, workers int) ([]*grid.Case, error) {
 }
 
 // Paper returns one of the paper's test systems by name: embedded data
-// for case5, case9, case14 and case30; synthetic Table II profiles for
-// the rest.
+// for every system except case39 (synthesized from its Table II
+// profile). EmbeddedNames lists the embedded set.
 func Paper(name string) (*grid.Case, error) {
 	switch name {
 	case "case5":
@@ -117,12 +124,25 @@ func Paper(name string) (*grid.Case, error) {
 		return grid.Case14(), nil
 	case "case30":
 		return grid.Case30(), nil
+	case "case57":
+		return grid.Case57(), nil
+	case "case118":
+		return grid.Case118(), nil
+	case "case300":
+		return grid.Case300(), nil
 	}
 	spec, ok := PaperSpecs()[name]
 	if !ok {
 		return nil, fmt.Errorf("casegen: unknown paper system %q", name)
 	}
 	return Generate(spec)
+}
+
+// EmbeddedNames lists, in size order, the systems Paper serves from
+// embedded data rather than synthesis. The docs coverage check and the
+// paper-scale benchmark harness iterate this set.
+func EmbeddedNames() []string {
+	return []string{"case5", "case9", "case14", "case30", "case57", "case118", "case300"}
 }
 
 // PaperSystemNames lists the five evaluation systems of Figures 4-8
@@ -274,8 +294,9 @@ func build(spec Spec, rng *rand.Rand, loadLevel float64) *grid.Case {
 	}
 
 	// Branch ratings: assigned after the certifying power flow (see
-	// certify) at 2.2× the base-case flow so the base point is feasible
-	// but the limits bind under load growth.
+	// certify) per the fleet-wide rated-branch convention
+	// (grid.RatedHeadroom × base-case flow) so the base point is
+	// feasible but the limits bind under load growth.
 	if spec.RatedBranches > 0 {
 		// Temporary marker; real values set in certify.
 		for l := 0; l < len(c.Branches) && l < spec.RatedBranches; l++ {
@@ -314,7 +335,8 @@ func certify(c *grid.Case) bool {
 	// profile; requiring PF-level Q feasibility rejects perfectly good
 	// systems. OPF solvability is covered by the package tests.
 
-	// Finalize ratings at 2.2× the base flow (min 15 MVA).
+	// Finalize ratings per the shared convention (grid.RateBranches'
+	// constants); only the spec-marked subset gets limits.
 	y := grid.MakeYbus(c)
 	v := grid.Voltage(r.Vm, r.Va)
 	sf, st := grid.BranchFlows(y, v)
@@ -325,7 +347,7 @@ func certify(c *grid.Case) bool {
 		}
 		if marked[l] {
 			flow := math.Max(cAbs(sf[li]), cAbs(st[li])) * c.BaseMVA
-			c.Branches[l].RateA = math.Max(2.2*flow, 15)
+			c.Branches[l].RateA = math.Max(grid.RatedHeadroom*flow, grid.RatedFloorMVA)
 		}
 		li++
 	}

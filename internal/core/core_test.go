@@ -273,3 +273,24 @@ func TestSolveWarmFallback(t *testing.T) {
 		t.Fatal("failed warm start must account restart time")
 	}
 }
+
+// TestTrainingDefaults pins the scale-aware offline-phase sizes: the
+// small-system regime stays at the repository's historical defaults,
+// and both knobs shrink monotonically toward the case300 floor.
+func TestTrainingDefaults(t *testing.T) {
+	d9, e9 := TrainingDefaults(9)
+	if d9 != 600 || e9 != 300 {
+		t.Errorf("case9 defaults = %d draws, %d epochs; want 600, 300", d9, e9)
+	}
+	prevD, prevE := d9, e9
+	for _, nb := range []int{30, 57, 118, 300} {
+		d, e := TrainingDefaults(nb)
+		if d > prevD || e > prevE {
+			t.Errorf("nb=%d: defaults %d/%d grew past %d/%d", nb, d, e, prevD, prevE)
+		}
+		if d < 150 || e < 80 {
+			t.Errorf("nb=%d: defaults %d/%d below floors", nb, d, e)
+		}
+		prevD, prevE = d, e
+	}
+}

@@ -106,6 +106,33 @@ func newModelPool(m *mtl.Model, workers, tasks int) *modelPool {
 func (p *modelPool) get() *mtl.Model  { return <-p.ch }
 func (p *modelPool) put(m *mtl.Model) { p.ch <- m }
 
+// TrainingDefaults returns the offline-phase sizes that keep dataset
+// generation and training tractable for a system of nb buses: the
+// number of ±10 % load draws to solve and the training epochs. Small
+// systems keep the repository's hundreds-of-samples regime; at paper
+// scale both shrink roughly inversely with the bus count — the
+// per-draw cold solve grows superlinearly (case300 ≈ 1 s per draw vs
+// case9 ≈ 1 ms), so even with the batch engine fanning draws across
+// all cores, case300 lands at 160 draws / 80 epochs (minutes, not
+// hours; the paper's offline phase uses 10,000 draws on a cluster).
+// The cmd/traingen -n, cmd/train -epochs and cmd/scopf -epochs flags
+// default to these via their 0 values; explicit flags override.
+func TrainingDefaults(nb int) (draws, epochs int) {
+	draws = clampInt(48000/nb, 150, 600)
+	epochs = clampInt(24000/nb, 80, 300)
+	return draws, epochs
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
 // ModelConfig returns the model configuration the offline phase uses
 // for a variant. TrainModel builds its models with it, and loaders of
 // cmd/train snapshots (LoadModel, cmd/pgsimd) must construct the same

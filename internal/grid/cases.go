@@ -1,12 +1,45 @@
 package grid
 
-// Embedded reference systems. Case9, Case14 and Case30 follow the
-// standard Matpower data (WSCC 9-bus, IEEE 14-bus and IEEE 30-bus with
-// the OPF cost set); Case5 is the PJM 5-bus system. Larger paper systems
-// (39/57/118/300 buses) are produced by internal/casegen with the Table
-// II size profiles — see DESIGN.md for the substitution rationale.
+import "math"
 
-// Case9 returns the WSCC 3-machine 9-bus system.
+// Embedded reference systems — data provenance, units and conventions.
+//
+// All embedded cases use the Matpower column conventions: powers in
+// MW/MVAr on the case's MVA base, impedances and line charging in per
+// unit on that base, voltages in per unit, angles in degrees, and
+// transformer taps as the off-nominal Ratio on the from side (0 means a
+// plain line). Each case stores a solved operating point (bus Vm/Va and
+// generator dispatch), so the Newton power flow started from the case
+// data reconverges in a handful of iterations.
+//
+// Provenance by case:
+//
+//   - Case9, Case14, Case30: transcribed from the standard Matpower case
+//     files (WSCC 9-bus; IEEE 14-bus; IEEE 30-bus with the OPF cost set).
+//   - Case5: the PJM 5-bus system (linear costs).
+//   - Case57, Case118: transcribed from the Matpower case57/case118
+//     files (IEEE 57- and 118-bus systems), stored as compact
+//     Matpower-style data tables in cases57.go and cases118.go.
+//   - Case300: the 300-bus evaluation system of the paper's Table II,
+//     embedded in cases300.go as a frozen, deterministic 300-bus grid
+//     with the IEEE 300-bus system's size profile (300 buses, 69
+//     generators, 411 branches). The original case300 file is not
+//     redistributed here; the data was produced once by the certified
+//     synthesis procedure of internal/casegen and is now static, so it
+//     cannot drift with the generator.
+//
+// Rated-branch convention: the paper's inequality set includes branch
+// MVA flow limits, but the IEEE 57/118/300-bus case files carry no
+// finite ratings. Every embedded system therefore guarantees a fully
+// rated branch set: cases whose source file has ratings (case5, case9,
+// case30) keep them verbatim, and the others derive ratings with
+// RateBranches at ratedHeadroom× the apparent-power flow of the stored
+// operating point, floored at ratedFloorMVA — the same convention
+// internal/casegen certifies synthetic systems with. case14 keeps its
+// unrated source data (the no-flow-constraint regression case).
+
+// Case9 returns the WSCC 3-machine 9-bus system (file ratings on all
+// branches; provenance and conventions in the comment above).
 func Case9() *Case {
 	c := &Case{
 		Name:    "case9",
@@ -43,7 +76,8 @@ func Case9() *Case {
 	return c
 }
 
-// Case5 returns the PJM 5-bus system (linear generation costs).
+// Case5 returns the PJM 5-bus system (linear generation costs, file
+// ratings on all branches).
 func Case5() *Case {
 	c := &Case{
 		Name:    "case5",
@@ -75,7 +109,9 @@ func Case5() *Case {
 	return c
 }
 
-// Case14 returns the IEEE 14-bus system.
+// Case14 returns the IEEE 14-bus system — the file carries no branch
+// ratings and none are derived, keeping it the no-flow-constraint
+// regression case (Layout.NLRated = 0).
 func Case14() *Case {
 	c := &Case{
 		Name:    "case14",
@@ -130,11 +166,11 @@ func Case14() *Case {
 	return c
 }
 
-// Case30 returns the IEEE 30-bus system with the standard OPF cost data.
-// Every branch carries a finite MVA rating, which makes it the smallest
-// embedded system where an N-1 outage changes the inequality layout —
-// the case the contingency-screening engine's warm-start projection is
-// built for (see internal/scopf).
+// Case30 returns the IEEE 30-bus system with the standard OPF cost data
+// and the file's flow limits on every branch — the smallest embedded
+// system where an N-1 outage changes the inequality layout, which the
+// contingency-screening engine's warm-start projection is built for
+// (see internal/scopf).
 func Case30() *Case {
 	c := &Case{
 		Name:    "case30",
@@ -232,3 +268,98 @@ func mustNormalize(c *Case) {
 		panic(err)
 	}
 }
+
+// The large embedded systems store their data as compact Matpower-style
+// tables (one fixed-width row per element) instead of struct literals;
+// caseFromTables expands them. Row layouts:
+//
+//	busRow:    ID, type, Pd, Qd, Gs, Bs, Vm, Va(deg)
+//	genRow:    bus, Pg, Qg, Qmax, Qmin, Vg, Pmax, c2, c1, c0 (Pmin = 0)
+//	branchRow: from, to, R, X, B, ratio (0 = plain line)
+type (
+	busRow    = [8]float64
+	genRow    = [10]float64
+	branchRow = [6]float64
+)
+
+// caseFromTables builds a normalized Case from the packed data tables.
+// Every bus gets the uniform voltage band [vmin, vmax] and baseKV
+// (buses listed in hv get 345 kV); every branch and generator is in
+// service.
+func caseFromTables(name string, baseKV, vmax, vmin float64, hv map[int]bool, buses []busRow, gens []genRow, branches []branchRow) *Case {
+	c := &Case{Name: name, BaseMVA: 100}
+	for _, r := range buses {
+		id := int(r[0])
+		kv := baseKV
+		if hv[id] {
+			kv = 345
+		}
+		c.Buses = append(c.Buses, Bus{
+			ID: id, Type: BusType(int(r[1])),
+			Pd: r[2], Qd: r[3], Gs: r[4], Bs: r[5],
+			Vm: r[6], Va: r[7],
+			BaseKV: kv, Vmax: vmax, Vmin: vmin,
+		})
+	}
+	for _, r := range gens {
+		c.Gens = append(c.Gens, Gen{
+			Bus: int(r[0]), Pg: r[1], Qg: r[2],
+			Qmax: r[3], Qmin: r[4], Vg: r[5],
+			Pmax: r[6], Pmin: 0, Status: true,
+			Cost: PolyCost{C2: r[7], C1: r[8], C0: r[9]},
+		})
+	}
+	for _, r := range branches {
+		c.Branches = append(c.Branches, Branch{
+			From: int(r[0]), To: int(r[1]),
+			R: r[2], X: r[3], B: r[4], Ratio: r[5],
+			Status: true,
+		})
+	}
+	mustNormalize(c)
+	return c
+}
+
+// Rated-branch derivation constants — the single definition of the
+// convention (see the package comment above). internal/casegen's
+// certify step derives its synthetic ratings from these same values,
+// so embedded and synthesized systems cannot drift apart.
+const (
+	// RatedHeadroom scales the base-case apparent flow into the branch
+	// rating: base point feasible with ~2× margin, limits binding under
+	// load growth.
+	RatedHeadroom = 2.2
+	// RatedFloorMVA is the minimum assigned rating, keeping lightly
+	// loaded branches from getting degenerate limits.
+	RatedFloorMVA = 15.0
+)
+
+// RateBranches assigns every in-service unrated branch a finite RateA of
+// RatedHeadroom× the larger of its from-/to-side apparent-power flows at
+// the case's stored operating point, floored at RatedFloorMVA. The case
+// must be normalized. This is the single place the embedded systems
+// derive flow limits from; branches with ratings in their source data
+// are left untouched.
+func RateBranches(c *Case) {
+	y := MakeYbus(c)
+	vm := make([]float64, len(c.Buses))
+	va := make([]float64, len(c.Buses))
+	for i, b := range c.Buses {
+		vm[i] = b.Vm
+		va[i] = Deg2Rad(b.Va)
+	}
+	sf, st := BranchFlows(y, Voltage(vm, va))
+	li := 0
+	for l := range c.Branches {
+		if !c.Branches[l].Status {
+			continue
+		}
+		if c.Branches[l].RateA == 0 {
+			flow := math.Max(cmplxAbs(sf[li]), cmplxAbs(st[li])) * c.BaseMVA
+			c.Branches[l].RateA = math.Max(RatedHeadroom*flow, RatedFloorMVA)
+		}
+		li++
+	}
+}
+
+func cmplxAbs(x complex128) float64 { return math.Hypot(real(x), imag(x)) }

@@ -1,0 +1,119 @@
+package grid_test
+
+// Embedded-fleet smoke tests: every embedded system must round-trip
+// Normalize → MakeYbus → Newton power-flow convergence from a flat
+// start, so a bad data entry in a large case table fails fast here
+// rather than deep inside a benchmark or screening sweep. (This lives
+// in an external test package because internal/pf imports grid.)
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"repro/internal/grid"
+	"repro/internal/pf"
+)
+
+// embedded enumerates every embedded system with its expected element
+// counts, load band and rated-branch count.
+var embedded = []struct {
+	name              string
+	build             func() *grid.Case
+	nb, ng, nl, rated int
+	loadMin, loadMax  float64 // total Pd band, MW
+	flatIters         int     // Newton budget from a flat start
+	storedIters       int     // Newton budget from the stored point
+	derivedRates      bool    // ratings come from RateBranches (base-feasible)
+}{
+	{"case5", grid.Case5, 5, 5, 6, 6, 990, 1010, 10, 10, false},
+	{"case9", grid.Case9, 9, 3, 9, 9, 310, 320, 10, 10, false},
+	{"case14", grid.Case14, 14, 5, 20, 0, 255, 265, 10, 10, false},
+	{"case30", grid.Case30, 30, 6, 41, 41, 180, 200, 10, 10, false},
+	{"case57", grid.Case57, 57, 7, 80, 80, 1245, 1255, 15, 6, true},
+	{"case118", grid.Case118, 118, 54, 186, 186, 4230, 4255, 15, 6, true},
+	{"case300", grid.Case300, 300, 69, 411, 411, 5000, 30000, 20, 6, true},
+}
+
+// TestEmbeddedSystemsRoundTrip is the table-driven data smoke test of
+// the whole embedded fleet.
+func TestEmbeddedSystemsRoundTrip(t *testing.T) {
+	for _, tc := range embedded {
+		t.Run(tc.name, func(t *testing.T) {
+			c := tc.build()
+			if err := c.Normalize(); err != nil {
+				t.Fatalf("Normalize: %v", err)
+			}
+			if c.NB() != tc.nb || c.NG() != tc.ng || c.NL() != tc.nl {
+				t.Fatalf("counts %d/%d/%d want %d/%d/%d",
+					c.NB(), c.NG(), c.NL(), tc.nb, tc.ng, tc.nl)
+			}
+			rated := 0
+			for _, br := range c.Branches {
+				if br.Status && br.RateA > 0 {
+					rated++
+				}
+			}
+			if rated != tc.rated {
+				t.Fatalf("rated branches = %d want %d", rated, tc.rated)
+			}
+			p, _ := c.TotalLoad()
+			if p < tc.loadMin || p > tc.loadMax {
+				t.Fatalf("total load %.1f MW outside [%.0f, %.0f]", p, tc.loadMin, tc.loadMax)
+			}
+			if y := grid.MakeYbus(c); y.Ybus.NRows != tc.nb {
+				t.Fatalf("Ybus is %dx%d", y.Ybus.NRows, y.Ybus.NCols)
+			}
+
+			// Newton from a flat start (V = 1∠0 with generator setpoints),
+			// then from the stored operating point, which must be a solved
+			// state (few iterations to reconverge).
+			flat := c.Clone()
+			for i := range flat.Buses {
+				flat.Buses[i].Vm = 1
+				flat.Buses[i].Va = 0
+			}
+			r, err := pf.Solve(flat, pf.Options{MaxIter: tc.flatIters})
+			if err != nil || !r.Converged {
+				t.Fatalf("flat-start Newton: %v (converged=%v after %d iters, mismatch %.3e)",
+					err, r != nil && r.Converged, r.Iterations, r.MaxMismatch)
+			}
+			rs, err := pf.Solve(c, pf.Options{})
+			if err != nil || !rs.Converged {
+				t.Fatalf("stored-point Newton: %v", err)
+			}
+			if rs.Iterations > tc.storedIters {
+				t.Errorf("stored operating point took %d Newton iterations (budget %d) — stale anchor?",
+					rs.Iterations, tc.storedIters)
+			}
+
+			// Derived ratings must leave the stored point feasible (the
+			// RateBranches headroom guarantee). Source-file ratings carry
+			// no such guarantee — e.g. case5's base dispatch overloads
+			// line 4-5 until the OPF redispatches — so they are skipped.
+			if !tc.derivedRates {
+				return
+			}
+			v := grid.Voltage(rs.Vm, rs.Va)
+			sf, st := grid.BranchFlows(grid.MakeYbus(c), v)
+			li := 0
+			for l, br := range c.Branches {
+				if !br.Status {
+					continue
+				}
+				if br.RateA > 0 {
+					f := maxAbs(sf[li], st[li]) * c.BaseMVA
+					if f > br.RateA*1.0001 {
+						t.Errorf("branch %d (%d-%d): base flow %.1f MVA exceeds rating %.1f",
+							l, br.From, br.To, f, br.RateA)
+					}
+				}
+				li++
+			}
+		})
+	}
+}
+
+func maxAbs(a, b complex128) float64 {
+	return math.Max(cmplx.Abs(a), cmplx.Abs(b))
+}

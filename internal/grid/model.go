@@ -8,6 +8,10 @@
 // of the ±10 % load-perturbation workload: every sample of a sweep and
 // every serving-daemon request is a scaled clone of a base case, leaving
 // the admittance structure shared (see opf.Rebind).
+//
+// The package also embeds the paper's evaluation fleet — Case5 through
+// Case300, every branch rated — with provenance, units and the
+// rated-branch convention documented once in cases.go.
 package grid
 
 import (

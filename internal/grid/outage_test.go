@@ -58,7 +58,11 @@ func sameBranchMat(t *testing.T, name string, got, want *BranchMat) {
 // outaged case, for every branch (bridges included; connectivity is a
 // screening concern, not a matrix one) of every embedded system.
 func TestDropBranchMatchesRebuild(t *testing.T) {
-	for _, c := range []*Case{Case5(), Case9(), Case14(), Case30()} {
+	cases := []*Case{Case5(), Case9(), Case14(), Case30(), Case57(), Case118()}
+	if !testing.Short() {
+		cases = append(cases, Case300())
+	}
+	for _, c := range cases {
 		y := MakeYbus(c)
 		active := 0
 		for branch, br := range c.Branches {

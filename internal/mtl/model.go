@@ -81,8 +81,10 @@ type Config struct {
 	// path (gradients from λ/Z/µ heads into the trunk are blocked).
 	// 0 disables.
 	DetachPeriod int
-	// TrunkWidths overrides the trunk layer widths; nil derives the
-	// paper's rule (5 layers, 2nb·[1.0,1.2,1.4,1.6,1.8]).
+	// TrunkWidths overrides the trunk layer widths; nil derives them
+	// per system from the problem layout (trunkWidthsFor): the paper's
+	// rule (5 layers, 2nb·[1.0,1.2,1.4,1.6,1.8]) up to the point where
+	// the constraint counts, not the bus count, should size the model.
 	TrunkWidths []int
 	// HeadHidden is each estimator's hidden width; 0 derives it from the
 	// task output size.
@@ -146,7 +148,7 @@ func New(lay opf.Layout, cfg Config) *Model {
 	in := 2 * lay.NB
 	widths := cfg.TrunkWidths
 	if widths == nil {
-		widths = trunkWidths(in)
+		widths = trunkWidthsFor(lay)
 	}
 	trunkOut := widths[len(widths)-1]
 	m := &Model{Cfg: cfg, Lay: lay}
@@ -185,15 +187,33 @@ func New(lay opf.Layout, cfg Config) *Model {
 	return m
 }
 
-func trunkWidths(in int) []int {
+// trunkWidthsFor sizes the shared trunk from the problem layout. The
+// paper's rule — five layers at 2nb·[1.0,1.2,1.4,1.6,1.8] — grows
+// linearly with the bus count, which at case300 scale (600 inputs)
+// makes the trunk wider than the information the constraint structure
+// carries and training intractably slow. Above the point where the
+// linear rule crosses the constraint-derived budget, the base width is
+// instead tied to the multiplier counts the heads must explain,
+// 192 + 4·⌈√(NEq+NIq)⌉: case57 and case118 keep the paper's widths
+// (114 and 236 inputs stay under their budgets of 276 and 324), while
+// case300 caps at 384 instead of 600. See DESIGN.md §9.
+func trunkWidthsFor(lay opf.Layout) []int {
+	in := 2 * lay.NB
+	base := float64(in)
+	if budget := 192 + 4*math.Ceil(math.Sqrt(float64(lay.NEq+lay.NIq))); budget < base {
+		base = budget
+	}
 	f := []float64{1.0, 1.2, 1.4, 1.6, 1.8}
 	w := make([]int, len(f))
 	for i, s := range f {
-		w[i] = int(math.Ceil(float64(in) * s))
+		w[i] = int(math.Ceil(base * s))
 	}
 	return w
 }
 
+// headHidden sizes an estimator's hidden layer from its task output
+// size — NB/NG for the X heads, NEq for λ, NIq for Z and µ — so per-
+// system head capacity follows the multiplier counts.
 func headHidden(out int) int {
 	h := 2 * out
 	if h < 24 {

@@ -91,6 +91,37 @@ type OPF struct {
 	// solve freezes its own pivot sequence — so derived instances may be
 	// solved in parallel with bit-identical results regardless of order.
 	kkt *sparse.OrderingCache
+	// kktForced records that SetOrdering overrode the per-system
+	// default, so Solve's NoKKTReuse path honours an explicitly forced
+	// auto instead of falling back to RCM.
+	kktForced bool
+}
+
+// AutoOrderingBuses is the bus count at and above which Prepare probes
+// the KKT fill-reducing ordering (sparse.OrderAuto) instead of assuming
+// RCM. Neither heuristic dominates at paper scale — AMD measures ~17 %
+// less real fill than RCM on the case57 KKT pattern, while RCM beats
+// AMD by 2.4× on case118 — and natural ordering blows up outright (≈9×
+// RCM's fill on case300, a 25× slower cold solve), so above this size
+// the ordering is measured per grid with sparse.OrderAuto's
+// pattern-pure pivoted-fill probe and the one-off cost is amortized by
+// the shared OrderingCache. The probe is deliberately conservative
+// under pivoting (it currently resolves to RCM across the embedded
+// fleet and reserves AMD for patterns where it wins decisively — see
+// RESULTS.md for the measured fills). Below the threshold, small
+// patterns factor in microseconds either way and RCM stays the fixed
+// default (bit-compatible with the historic behaviour). See DESIGN.md
+// §9.
+const AutoOrderingBuses = 48
+
+// DefaultOrdering returns the KKT ordering Prepare selects for a grid
+// of nb buses: the fill-probing sparse.OrderAuto at and above
+// AutoOrderingBuses, sparse.OrderRCM below.
+func DefaultOrdering(nb int) sparse.Ordering {
+	if nb >= AutoOrderingBuses {
+		return sparse.OrderAuto
+	}
+	return sparse.OrderRCM
 }
 
 // Prepare builds the admittance matrices, bounds and constraint layout
@@ -167,7 +198,7 @@ func Prepare(c *grid.Case) *OPF {
 		xmin:   xmin, xmax: xmax,
 		refIdx: c.RefIndex(),
 		refVa:  grid.Deg2Rad(c.Buses[c.RefIndex()].Va),
-		kkt:    sparse.NewOrderingCache(sparse.OrderRCM),
+		kkt:    sparse.NewOrderingCache(DefaultOrdering(nb)),
 	}
 	o.prep = time.Since(t0)
 	return o
@@ -180,7 +211,13 @@ func Prepare(c *grid.Case) *OPF {
 // counters are discarded.
 func (o *OPF) SetOrdering(ord sparse.Ordering) {
 	o.kkt = sparse.NewOrderingCache(ord)
+	o.kktForced = true
 }
+
+// Ordering reports the KKT fill-reducing ordering this instance (and
+// every Rebind/Perturb derivation sharing its cache) analyzes with —
+// the per-system default of Prepare unless SetOrdering replaced it.
+func (o *OPF) Ordering() sparse.Ordering { return o.kkt.Ordering() }
 
 // KKTStats reports the KKT reuse counters for this grid, aggregated over
 // every solve of this instance and its Rebind/Perturb derivations: how
@@ -360,6 +397,16 @@ func (o *OPF) Solve(start *Start, opt Options) (*Result, error) {
 		// paths that do not read the cache — the NoKKTReuse baseline and
 		// any re-analysis mips performs without a shared cache.
 		opt.Ordering = o.kkt.Ordering()
+		if opt.NoKKTReuse && opt.Ordering == sparse.OrderAuto && !o.kktForced {
+			// The no-reuse baseline factors from scratch every iteration;
+			// the per-system auto default would re-run the two-candidate
+			// fill probe on each of them, distorting the very
+			// reuse-vs-baseline comparison the flag exists for. Fall back
+			// to the fixed pre-probe default; auto forced explicitly via
+			// SetOrdering (-ordering auto) or Options.Ordering is
+			// honoured.
+			opt.Ordering = sparse.OrderRCM
+		}
 	}
 	var ws *mips.WarmStart
 	if start != nil {

@@ -1,0 +1,69 @@
+package opf
+
+import (
+	"testing"
+
+	"repro/internal/grid"
+	"repro/internal/sparse"
+)
+
+// TestDefaultOrderingThreshold pins the per-system ordering policy:
+// fixed RCM below AutoOrderingBuses, fill-probing auto at and above.
+func TestDefaultOrderingThreshold(t *testing.T) {
+	if got := DefaultOrdering(AutoOrderingBuses - 1); got != sparse.OrderRCM {
+		t.Errorf("below threshold: %v want rcm", got)
+	}
+	if got := DefaultOrdering(AutoOrderingBuses); got != sparse.OrderAuto {
+		t.Errorf("at threshold: %v want auto", got)
+	}
+	if got := Prepare(grid.Case9()).Ordering(); got != sparse.OrderRCM {
+		t.Errorf("case9 prepared with %v want rcm", got)
+	}
+	if got := Prepare(grid.Case57()).Ordering(); got != sparse.OrderAuto {
+		t.Errorf("case57 prepared with %v want auto", got)
+	}
+}
+
+// TestAutoOrderingSolveMatchesFixed: the probe only picks a
+// permutation; whichever heuristic it selects, the optimum must match
+// forcing either heuristic directly (and all must converge) — the
+// ordering is a performance knob, never a results knob.
+func TestAutoOrderingSolveMatchesFixed(t *testing.T) {
+	if testing.Short() {
+		t.Skip("case57 solves in -short")
+	}
+	c := grid.Case57()
+	auto := Prepare(c)
+	ra, err := auto.Solve(nil, Options{})
+	if err != nil || !ra.Converged {
+		t.Fatalf("auto solve: %v", err)
+	}
+	for _, ord := range []sparse.Ordering{sparse.OrderRCM, sparse.OrderAMD} {
+		fixed := Prepare(c)
+		fixed.SetOrdering(ord)
+		rf, err := fixed.Solve(nil, Options{})
+		if err != nil || !rf.Converged {
+			t.Fatalf("%v solve: %v", ord, err)
+		}
+		// Ordering choice must not change the optimum (PR 3's
+		// ordering-invariance property, extended to auto). Different
+		// elimination orders round differently, so compare to solver
+		// tolerance, not bitwise.
+		if d := (rf.Cost - ra.Cost) / ra.Cost; d > 1e-5 || d < -1e-5 {
+			t.Errorf("%v: cost %.6f differs from auto %.6f", ord, rf.Cost, ra.Cost)
+		}
+	}
+}
+
+// TestRebindOutageKeepsConfiguredOrdering: derived topology classes
+// inherit the (possibly auto) ordering of the base instance.
+func TestRebindOutageKeepsConfiguredOrdering(t *testing.T) {
+	o := Prepare(grid.Case57())
+	d, err := o.RebindOutage(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Ordering() != o.Ordering() {
+		t.Errorf("outage class ordering %v, base %v", d.Ordering(), o.Ordering())
+	}
+}

@@ -1,0 +1,162 @@
+package sparse
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// laplacianPlus builds a diagonally dominant SPD-patterned matrix on a
+// random graph: A = L + 4I with L the graph Laplacian. Strong diagonals
+// keep threshold pivoting on the diagonal, so the probe's surrogate
+// (which also carries a dominant stored diagonal) reproduces the real
+// factor fill exactly.
+func laplacianPlus(n int, extra int, seed int64) *CSC {
+	rng := rand.New(rand.NewSource(seed))
+	b := NewBuilder(n, n)
+	deg := make([]float64, n)
+	addEdge := func(i, j int) {
+		if i == j {
+			return
+		}
+		b.Append(i, j, -1)
+		b.Append(j, i, -1)
+		deg[i]++
+		deg[j]++
+	}
+	for i := 1; i < n; i++ {
+		addEdge(rng.Intn(i), i) // spanning tree
+	}
+	for k := 0; k < extra; k++ {
+		addEdge(rng.Intn(n), rng.Intn(n))
+	}
+	for i := 0; i < n; i++ {
+		b.Append(i, i, deg[i]+4)
+	}
+	return b.ToCSC()
+}
+
+// borderedKKT builds the indefinite bordered shape every MIPS iteration
+// factors: a banded mesh block with a stored (well-scaled) diagonal,
+// bordered by constraint rows/columns whose trailing diagonal block is
+// structurally EMPTY — the shape that forces pivoting off the diagonal
+// and made a pivoting-blind fill estimate mis-rank orderings.
+func borderedKKT(nx, neq int, seed int64) *CSC {
+	rng := rand.New(rand.NewSource(seed))
+	b := NewBuilder(nx+neq, nx+neq)
+	for i := 0; i < nx; i++ {
+		b.Append(i, i, 4)
+		for _, d := range []int{1, 2, 7} { // banded mesh + a long-range chord
+			if i+d < nx {
+				b.Append(i, i+d, -1)
+				b.Append(i+d, i, -1)
+			}
+		}
+	}
+	for r := 0; r < neq; r++ {
+		for k := 0; k < 3; k++ { // each constraint touches ~3 mesh nodes
+			j := rng.Intn(nx)
+			b.Append(nx+r, j, 1+rng.Float64())
+			b.Append(j, nx+r, 1+rng.Float64())
+		}
+	}
+	return b.ToCSC()
+}
+
+func factorNNZ(t *testing.T, a *CSC, ord Ordering) int {
+	t.Helper()
+	f, err := FactorizeOpts(a, ord, 1.0)
+	if err != nil {
+		t.Fatalf("%s: %v", ord, err)
+	}
+	return f.NNZ()
+}
+
+// TestOrderAutoPicksSmallerFill: on diagonally dominant symmetric
+// patterns the surrogate probe reproduces real diagonal-pivot fill, so
+// auto's factor must equal the better of RCM and AMD.
+func TestOrderAutoPicksSmallerFill(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		a := laplacianPlus(80, 70, seed)
+		auto := factorNNZ(t, a, OrderAuto)
+		rcm := factorNNZ(t, a, OrderRCM)
+		amd := factorNNZ(t, a, OrderAMD)
+		best := min(rcm, amd)
+		if auto != best {
+			t.Errorf("seed %d: auto fill %d, want min(rcm %d, amd %d)", seed, auto, rcm, amd)
+		}
+		p1 := permFor(a, OrderAuto)
+		p2 := permFor(a, OrderAuto)
+		for i := range p1 {
+			if p1[i] != p2[i] {
+				t.Fatalf("seed %d: auto ordering not deterministic", seed)
+			}
+		}
+	}
+}
+
+// TestOrderAutoNoPivotBlowup is the regression for the pivoting-blind
+// estimator bug: on bordered KKT-shaped patterns (empty trailing
+// diagonal block), the probed choice must stay close to the better
+// ordering's REAL pivoted fill — a symmetric-elimination estimate
+// picked the catastrophically worse side here (2.4× on the case118
+// KKT).
+func TestOrderAutoNoPivotBlowup(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		a := borderedKKT(150, 60, seed)
+		auto := factorNNZ(t, a, OrderAuto)
+		best := min(factorNNZ(t, a, OrderRCM), factorNNZ(t, a, OrderAMD))
+		if float64(auto) > 1.3*float64(best) {
+			t.Errorf("seed %d: auto fill %d vs best %d (> 1.3×)", seed, auto, best)
+		}
+	}
+}
+
+// TestResolve pins the reporting contract: concrete orderings resolve
+// to themselves, and auto resolves to the ordering whose factorization
+// it actually returns.
+func TestResolve(t *testing.T) {
+	a := borderedKKT(100, 40, 3)
+	for _, ord := range []Ordering{OrderNatural, OrderRCM, OrderAMD} {
+		if got := ord.Resolve(a); got != ord {
+			t.Errorf("%s.Resolve = %s", ord, got)
+		}
+	}
+	res := OrderAuto.Resolve(a)
+	if res != OrderRCM && res != OrderAMD {
+		t.Fatalf("auto resolved to %s", res)
+	}
+	if got, want := factorNNZ(t, a, OrderAuto), factorNNZ(t, a, res); got != want {
+		t.Errorf("auto factor fill %d but resolved ordering %s gives %d", got, res, want)
+	}
+}
+
+// TestOrderAutoValidPermutation guards the basic contract on an
+// asymmetric pattern too.
+func TestOrderAutoValidPermutation(t *testing.T) {
+	b := NewBuilder(6, 6)
+	for i := 0; i < 6; i++ {
+		b.Append(i, i, 3)
+	}
+	b.Append(0, 5, 1)
+	b.Append(4, 1, 1)
+	b.Append(2, 3, 1)
+	p := permFor(b.ToCSC(), OrderAuto)
+	seen := make([]bool, 6)
+	for _, v := range p {
+		if v < 0 || v >= 6 || seen[v] {
+			t.Fatalf("invalid permutation %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+// TestParseOrderingAuto covers the new flag spelling.
+func TestParseOrderingAuto(t *testing.T) {
+	ord, err := ParseOrdering("auto")
+	if err != nil || ord != OrderAuto {
+		t.Fatalf("ParseOrdering(auto) = %v, %v", ord, err)
+	}
+	if OrderAuto.String() != "auto" {
+		t.Fatalf("String = %q", OrderAuto.String())
+	}
+}
