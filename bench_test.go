@@ -488,8 +488,12 @@ func BenchmarkMIPSSolve(b *testing.B) {
 // ±10 % load draws crossed with every connected single-branch outage
 // (plus the intact topology).
 func screenScenarios(sys *core.System, nDraws int, seed int64) []scopf.Scenario {
+	return scopf.BuildScenarios(benchDraws(sys.Case.NB(), nDraws, seed), scopf.Contingencies(sys.Case))
+}
+
+// benchDraws samples nDraws ±10 % per-bus load factor vectors.
+func benchDraws(nb, nDraws int, seed int64) []la.Vector {
 	r := rand.New(rand.NewSource(seed))
-	nb := sys.Case.NB()
 	draws := make([]la.Vector, nDraws)
 	for i := range draws {
 		f := make(la.Vector, nb)
@@ -498,7 +502,7 @@ func screenScenarios(sys *core.System, nDraws int, seed int64) []scopf.Scenario 
 		}
 		draws[i] = f
 	}
-	return scopf.BuildScenarios(draws, scopf.Contingencies(sys.Case))
+	return draws
 }
 
 // BenchmarkScreen times one N-1 contingency sweep on case14, on the
@@ -602,6 +606,198 @@ func writeScreenBenchReport(b *testing.B) {
 			b.Fatalf("case9 warm: engine feasibility %d != naive %d", sumEng.Feasible, sumNaive.Feasible)
 		}
 
+		mustIdentical := func(name string, eng, naive []scopf.Outcome) {
+			for i := range eng {
+				g, w := eng[i], naive[i]
+				if g.Feasible != w.Feasible || g.Cost != w.Cost || g.Iterations != w.Iterations || g.Islanded != w.Islanded {
+					b.Fatalf("%s scenario %d: engine not bit-identical to naive: %+v vs %+v", name, i, g, w)
+				}
+			}
+		}
+
+		// --- generator outages, per-system -------------------------------
+		// case14 cold is the structure-reuse comparison on the gen axis;
+		// case9 warm adds the layout projection (a dropped unit removes its
+		// Pg/Qg bound rows, so the naive path silently cold-solves).
+		gsc14 := scopf.BuildGenScenarios(benchDraws(sys14.Case.NB(), 4, 33), scopf.GenContingencies(sys14.Case))
+		var genEng, genNaive []scopf.Outcome
+		genNaiveNs, genEngineNs := measurePair(reps, func() {
+			genNaive = scopf.ScreenNaive(sys14.Case, nil, gsc14, 1)
+		}, func() {
+			genEng = (&scopf.Engine{Base: sys14.Case, Workers: 1}).Run(gsc14).Outcomes
+		})
+		mustIdentical("case14 gen-outage", genEng, genNaive)
+
+		gsc9 := scopf.BuildGenScenarios(benchDraws(sys9.Case.NB(), 6, 7), scopf.GenContingencies(sys9.Case))
+		var gwEng, gwNaive []scopf.Outcome
+		gwNaiveNs, gwEngineNs := measurePair(reps, func() {
+			gwNaive = scopf.ScreenNaive(sys9.Case, m, gsc9, 1)
+		}, func() {
+			gwEng = (&scopf.Engine{Base: sys9.Case, Model: m, Workers: 1}).Run(gsc9).Outcomes
+		})
+		gwSumEng, gwSumNaive := scopf.Summarize(gwEng), scopf.Summarize(gwNaive)
+		if gwSumEng.Feasible != gwSumNaive.Feasible {
+			b.Fatalf("case9 gen-outage warm: engine feasibility %d != naive %d", gwSumEng.Feasible, gwSumNaive.Feasible)
+		}
+
+		// --- N-2 branch pairs, per-system --------------------------------
+		// case14 exhaustive pair set, engine vs naive (bit-identical); then
+		// the hierarchical top-K screen against the exhaustive reference,
+		// re-verifying that every severe pair survives the pruning. case9 is
+		// the islanding regime: every branch pair disconnects the 6-branch
+		// ring, so the whole pair set is classified without a single solve.
+		f14 := make(la.Vector, sys14.Case.NB())
+		for i := range f14 {
+			f14[i] = 1.1
+		}
+		cont14 := scopf.Contingencies(sys14.Case)
+		pairSc14 := scopf.BuildPairScenarios([]la.Vector{f14}, scopf.AllPairs(cont14))
+		var pairEng, pairNaive []scopf.Outcome
+		pairNaiveNs, pairEngineNs := measurePair(1, func() {
+			pairNaive = scopf.ScreenNaive(sys14.Case, nil, pairSc14, 1)
+		}, func() {
+			pairEng = (&scopf.Engine{Base: sys14.Case, Workers: 1}).Run(pairSc14).Outcomes
+		})
+		mustIdentical("case14 N-2 pair", pairEng, pairNaive)
+
+		const topK = 17 // smallest K retaining every solver-severe case14 pair (TestHierarchicalN2Sound)
+		var exh, pruned *scopf.N2Result
+		exhNs, prunedNs := measurePair(1, func() {
+			exh = (&scopf.Engine{Base: sys14.Case, Workers: 1}).ScreenPairsTopK(f14, 0)
+		}, func() {
+			pruned = (&scopf.Engine{Base: sys14.Case, Workers: 1}).ScreenPairsTopK(f14, topK)
+		})
+		prunedOut := make(map[[2]int]scopf.Outcome, len(pruned.Pairs))
+		for i, p := range pruned.Pairs {
+			prunedOut[p] = pruned.Report.Outcomes[i]
+		}
+		severe := 0
+		for i, p := range exh.Pairs {
+			o := exh.Report.Outcomes[i]
+			if o.Err == nil && o.Feasible && !o.Islanded {
+				continue // not severe
+			}
+			severe++
+			kept, ok := prunedOut[p]
+			if !ok {
+				b.Fatalf("hierarchical N-2 pruned away severe pair %v", p)
+			}
+			if kept.Feasible != o.Feasible || kept.Cost != o.Cost || kept.Iterations != o.Iterations || kept.Islanded != o.Islanded {
+				b.Fatalf("hierarchical N-2 pair %v: pruned outcome differs from exhaustive: %+v vs %+v", p, kept, o)
+			}
+		}
+
+		pairSc9 := scopf.BuildPairScenarios(benchDraws(sys9.Case.NB(), 1, 7), scopf.AllPairs(scopf.Contingencies(sys9.Case)))
+		t0 := time.Now()
+		islOuts := (&scopf.Engine{Base: sys9.Case, Workers: 1}).Run(pairSc9).Outcomes
+		islNs := float64(time.Since(t0).Nanoseconds())
+		sumIsl := scopf.Summarize(islOuts)
+		if sumIsl.Islanded != len(pairSc9) {
+			b.Fatalf("case9 N-2: expected all %d pairs to island, got %d", len(pairSc9), sumIsl.Islanded)
+		}
+
+		// --- warm/cold dispatch policy, per-system -----------------------
+		// Each system trains its policy on its own screening log and is
+		// re-screened with it against the cold baseline. The per-scenario
+		// iteration guard is the acceptance invariant: the policy never
+		// selects a mode slower than cold (this is what turns the case30
+		// warm counter-regime from a hidden average into a dispatch
+		// decision). On warm-favourable systems the conservative threshold
+		// must not squander the headline speedup, so each row also reports
+		// the in-sample policy cost against the always-warm baseline;
+		// maxVsWarm > 0 enforces a ceiling on that ratio (1.05 on case57:
+		// within 5 % of the recorded warm speedup).
+		policyRow := func(name string, sys *core.System, m *mtl.Model, scenarios []scopf.Scenario, maxVsWarm float64) map[string]any {
+			samples := scopf.CollectPolicySamples(&scopf.Engine{Base: sys.Case, Model: m, Workers: 1}, scenarios)
+			pol := scopf.TrainPolicy(samples)
+			if pol == nil {
+				b.Fatalf("%s policy: screening log produced no samples", name)
+			}
+			hurts, winners, retained := 0, 0, 0
+			policyCost, warmCost := 0, 0
+			for _, s := range samples {
+				if pol.UseWarm(s.Feat) {
+					policyCost += s.WarmIters
+				} else {
+					policyCost += s.ColdIters
+				}
+				warmCost += s.WarmIters
+				switch {
+				case s.WarmHurts():
+					hurts++
+					if pol.UseWarm(s.Feat) {
+						b.Fatalf("%s policy: accepts a warm start measured slower than cold", name)
+					}
+				case s.WarmWins():
+					winners++
+					if pol.UseWarm(s.Feat) {
+						retained++
+					}
+				}
+			}
+			var polOuts, coldOuts []scopf.Outcome
+			coldNs, polNs := measurePair(1, func() {
+				coldOuts = (&scopf.Engine{Base: sys.Case, Workers: 1}).Run(scenarios).Outcomes
+			}, func() {
+				polOuts = (&scopf.Engine{Base: sys.Case, Model: m, Workers: 1, Policy: pol}).Run(scenarios).Outcomes
+			})
+			polIters, coldIters := 0, 0
+			for i := range polOuts {
+				p, cd := polOuts[i], coldOuts[i]
+				if p.Err == nil && cd.Err == nil && cd.Feasible && p.Iterations > cd.Iterations {
+					b.Fatalf("%s policy: scenario %d slower than cold (%d > %d iterations)", name, i, p.Iterations, cd.Iterations)
+				}
+				polIters += p.Iterations
+				coldIters += cd.Iterations
+			}
+			vsWarm := float64(policyCost) / float64(warmCost)
+			if maxVsWarm > 0 && vsWarm > maxVsWarm {
+				b.Fatalf("%s policy: in-sample cost is %.2fx the always-warm baseline (ceiling %.2fx)", name, vsWarm, maxVsWarm)
+			}
+			sumPol := scopf.Summarize(polOuts)
+			row := map[string]any{
+				"scenarios":              len(scenarios),
+				"samples":                len(samples),
+				"warm_losses":            hurts,
+				"warm_wins":              winners,
+				"warm_wins_retained":     retained,
+				"threshold":              pol.Threshold,
+				"policy_cold":            sumPol.PolicyCold,
+				"policy_iterations":      polIters,
+				"cold_iterations":        coldIters,
+				"iteration_speedup":      float64(coldIters) / float64(polIters),
+				"wall_speedup":           coldNs / polNs,
+				"cost_vs_always_warm":    vsWarm,
+				"never_slower_than_cold": true, // per-scenario guard above, b.Fatal otherwise
+			}
+			return row
+		}
+
+		trainSystem := func(name string, nSamples, epochs int, seed int64) (*core.System, *mtl.Model) {
+			sys := core.MustLoadSystem(name)
+			set, err := sys.GenerateData(nSamples, seed)
+			if err != nil {
+				b.Fatal(err)
+			}
+			m, err := sys.TrainModel(mtl.VariantMTL, set, epochs, seed, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			return sys, m
+		}
+
+		policy9 := policyRow("case9", sys9, m, sc9, 0)
+
+		sys30, m30 := trainSystem("case30", 60, 150, 30)
+		draws30 := benchDraws(sys30.Case.NB(), 3, 31)
+		sc30 := scopf.BuildScenarios(draws30, scopf.Contingencies(sys30.Case)[:10])
+		sc30 = append(sc30, scopf.BuildGenScenarios(draws30, scopf.GenContingencies(sys30.Case))...)
+		policy30 := policyRow("case30", sys30, m30, sc30, 0)
+
+		sys57, m57 := trainSystem("case57", 150, 150, 57)
+		sc57 := scopf.BuildScenarios(benchDraws(sys57.Case.NB(), 2, 58), scopf.Contingencies(sys57.Case)[:6])
+		policy57 := policyRow("case57", sys57, m57, sc57, 1.05)
+
 		perScen := func(ns float64, n int) float64 { return ns / float64(n) }
 		report := map[string]any{
 			"benchmark": "scopf-screen",
@@ -628,6 +824,56 @@ func writeScreenBenchReport(b *testing.B) {
 				"engine_mean_iterations": sumEng.MeanIterations,
 				"feasible_match":         true, // verified above, b.Fatal otherwise
 			},
+			"gen_outage": map[string]any{
+				"case14_cold": map[string]any{
+					"scenarios":              len(gsc14),
+					"naive_ns_per_scenario":  perScen(genNaiveNs, len(gsc14)),
+					"engine_ns_per_scenario": perScen(genEngineNs, len(gsc14)),
+					"speedup":                genNaiveNs / genEngineNs,
+					"bit_identical":          true, // verified above, b.Fatal otherwise
+				},
+				"case9_warm": map[string]any{
+					"scenarios":              len(gsc9),
+					"naive_ns_per_scenario":  perScen(gwNaiveNs, len(gsc9)),
+					"engine_ns_per_scenario": perScen(gwEngineNs, len(gsc9)),
+					"speedup":                gwNaiveNs / gwEngineNs,
+					"naive_warm_hits":        gwSumNaive.WarmConverged,
+					"engine_warm_hits":       gwSumEng.WarmConverged,
+					"engine_projected":       gwSumEng.Projected,
+					"feasible_match":         true, // verified above, b.Fatal otherwise
+				},
+			},
+			"n2_pairs": map[string]any{
+				"case14_cold": map[string]any{
+					"scenarios":              len(pairSc14),
+					"naive_ns_per_scenario":  perScen(pairNaiveNs, len(pairSc14)),
+					"engine_ns_per_scenario": perScen(pairEngineNs, len(pairSc14)),
+					"speedup":                pairNaiveNs / pairEngineNs,
+					"bit_identical":          true, // verified above, b.Fatal otherwise
+				},
+				"case14_hierarchical": map[string]any{
+					"top_k":           topK,
+					"exhaustive_ns":   exhNs,
+					"pruned_ns":       prunedNs,
+					"prune_speedup":   exhNs / prunedNs,
+					"pairs_total":     len(exh.Pairs),
+					"pairs_screened":  len(pruned.Pairs),
+					"pairs_skipped":   pruned.Skipped,
+					"severe_pairs":    severe,
+					"severe_retained": true, // verified above, b.Fatal otherwise
+				},
+				"case9_islanding": map[string]any{
+					"pairs":          len(pairSc9),
+					"islanded":       sumIsl.Islanded,
+					"ns_per_pair":    perScen(islNs, len(pairSc9)),
+					"solver_invoked": false, // all pairs classified by the connectivity check
+				},
+			},
+			"policy": map[string]any{
+				"case9":  policy9,
+				"case30": policy30,
+				"case57": policy57,
+			},
 			"warm_speedup": warmNaiveNs / warmEngineNs, // unitless ratio (naive/engine wall clock)
 		}
 		buf, err := json.MarshalIndent(report, "", "  ")
@@ -640,6 +886,11 @@ func writeScreenBenchReport(b *testing.B) {
 		fmt.Printf("BENCH_scopf.json: warm N-1 screen %.2fx naive (projection: %d/%d warm vs %d/%d), cold case14 %.2fx bit-identical\n",
 			warmNaiveNs/warmEngineNs, sumEng.WarmConverged, len(sc9), sumNaive.WarmConverged, len(sc9),
 			naiveNs/engineNs)
+		fmt.Printf("BENCH_scopf.json: gen-outage %.2fx (case14 cold) %.2fx (case9 warm); N-2 pairs %.2fx, hierarchy prunes %d/%d pairs (%.2fx, %d severe retained)\n",
+			genNaiveNs/genEngineNs, gwNaiveNs/gwEngineNs, pairNaiveNs/pairEngineNs,
+			pruned.Skipped, len(exh.Pairs), exhNs/prunedNs, severe)
+		fmt.Printf("BENCH_scopf.json: policy case30 %.2fx vs cold (%v dispatched cold), case9/case57 keep their warm wins\n",
+			policy30["iteration_speedup"], policy30["policy_cold"])
 	})
 }
 

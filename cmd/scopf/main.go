@@ -1,16 +1,21 @@
 // Command scopf runs security-constrained OPF contingency screening: a
-// tree of load draws × N-1 branch outages, each an independent AC-OPF,
-// screened on the topology-aware engine (one prepared problem structure
-// per outage topology, warm starts projected onto contingency layouts,
-// scenarios fanned out on the parallel worker pool). With -naive it runs
-// the per-scenario-rebuild reference path instead — the baseline the
-// engine is benchmarked against.
+// tree of load draws × contingencies — N-1 branch outages, generator
+// outages and hierarchical N-2 branch pairs — each an independent
+// AC-OPF, screened on the topology-aware engine (one prepared problem
+// structure per outage topology, warm starts projected onto contingency
+// layouts, islanding outages classified without solving, scenarios
+// fanned out on the parallel worker pool). With -naive it runs the
+// per-scenario-rebuild reference path instead — the baseline the engine
+// is benchmarked against.
 //
 // Usage:
 //
 //	scopf -case case30 -draws 8
 //	scopf -case case9 -draws 4 -train 60 -epochs 150     # warm-start screening
 //	scopf -case case57 -contingencies 0,3,7 -workers 8   # explicit RATED branches only
+//	scopf -case case30 -draws 8 -gens all                # generator N-1 axis
+//	scopf -case case14 -draws 1 -n2 8                    # hierarchical N-2 pairs (top-8)
+//	scopf -case case30 -draws 8 -train 80 -policy        # learned warm/cold dispatch
 //	scopf -case case30 -draws 16 -json > screen.json
 //	scopf -case case14 -draws 8 -naive                   # reference baseline
 package main
@@ -45,6 +50,9 @@ func main() {
 	seed := flag.Int64("seed", 1, "load-draw sampling seed")
 	spread := flag.Float64("spread", 0.1, "half-width of the load band (0.1 = the paper's ±10 %)")
 	contingencies := flag.String("contingencies", "all", "branch outages to screen: all (connected N-1 set), none, or a comma-separated index list into the case's branch table; explicit indices must name RATED in-service branches (RateA > 0) — outages of unrated branches leave the flow-constraint layout unchanged and are not screening contingencies")
+	gens := flag.String("gens", "none", "generator outages to screen: all (every in-service unit), none, or a comma-separated index list into the case's generator table")
+	n2 := flag.Int("n2", 0, "hierarchical N-2 pair screening on the first draw with this top-K severity cutoff (0 = off, negative = exact exhaustive pair set); islanding pairs are always classified")
+	policy := flag.Bool("policy", false, "train a warm/cold dispatch policy on this sweep's screening log (needs -train) and re-screen with it")
 	skipIntact := flag.Bool("skip-intact", false, "drop the no-outage scenario of each draw")
 	trainN := flag.Int("train", 0, "train a warm-start model on this many intact-system samples first (0 = cold screening)")
 	epochs := flag.Int("epochs", 0, "training epochs for -train (0 = per-system default, see core.TrainingDefaults)")
@@ -98,6 +106,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	genCons, err := parseGens(*gens, c)
+	if err != nil {
+		log.Fatal(err)
+	}
 	draws := sampleDraws(c.NB(), *nDraws, *seed, *spread)
 	var scenarios []scopf.Scenario
 	for _, f := range draws {
@@ -107,9 +119,36 @@ func main() {
 		for _, l := range cons {
 			scenarios = append(scenarios, scopf.Scenario{Factors: f, OutBranch: l})
 		}
+		for _, g := range genCons {
+			scenarios = append(scenarios, scopf.GenScenario(f, g))
+		}
 	}
 	if len(scenarios) == 0 {
 		log.Fatal("nothing to screen (no draws or no topologies)")
+	}
+	if *policy && (*naive || model == nil) {
+		log.Fatal("-policy needs a warm-start model (-train) and the topology-aware engine (no -naive)")
+	}
+
+	// The dispatch policy is trained on this sweep's own screening log
+	// (warm and cold iteration counts per scenario) before the timed run.
+	var pol *scopf.Policy
+	if *policy {
+		samples := scopf.CollectPolicySamples(&scopf.Engine{
+			Base: c, Prepared: base, Model: model,
+			Workers: *workers, NoProjection: *noProjection,
+		}, scenarios)
+		pol = scopf.TrainPolicy(samples)
+		if pol == nil {
+			log.Fatal("-policy: the sweep produced no warm/cold sample pairs to train on")
+		}
+		losses := 0
+		for _, s := range samples {
+			if s.WarmHurts() {
+				losses++
+			}
+		}
+		log.Printf("policy: trained on %d samples (%d warm losses), threshold %.4f", len(samples), losses, pol.Threshold)
 	}
 
 	t0 := time.Now()
@@ -120,7 +159,7 @@ func main() {
 	} else {
 		eng := &scopf.Engine{
 			Base: c, Prepared: base, Model: model,
-			Workers: *workers, NoProjection: *noProjection,
+			Workers: *workers, NoProjection: *noProjection, Policy: pol,
 		}
 		rep := eng.Run(scenarios)
 		outs, classes = rep.Outcomes, rep.Classes
@@ -128,12 +167,28 @@ func main() {
 	elapsed := time.Since(t0)
 	sum := scopf.Summarize(outs)
 
+	// Hierarchical N-2 stage: rank the first draw's N-1 outcomes by
+	// severity, screen the top-K pair block plus every islanding pair.
+	var n2res *scopf.N2Result
+	if *n2 != 0 {
+		k := *n2
+		if k < 0 {
+			k = 0 // exhaustive reference mode
+		}
+		eng := &scopf.Engine{
+			Base: c, Prepared: base, Model: model,
+			Workers: *workers, NoProjection: *noProjection, Policy: pol,
+		}
+		n2res = eng.ScreenPairsTopK(draws[0], k)
+	}
+
 	if *jsonOut {
-		printJSON(c.Name, *naive, sum, classes, elapsed)
+		printJSON(c.Name, *naive, sum, classes, elapsed, pol, n2res)
 		return
 	}
+	perDraw := len(cons) + len(genCons) + boolInt(!*skipIntact)
 	fmt.Printf("case %s: screened %d scenarios (%d draws × %d topologies) in %v — %.1f scenarios/s\n",
-		c.Name, sum.Total, len(draws), len(cons)+boolInt(!*skipIntact), elapsed.Round(time.Millisecond),
+		c.Name, sum.Total, len(draws), perDraw, elapsed.Round(time.Millisecond),
 		float64(sum.Total)/elapsed.Seconds())
 	mode := "topology-aware engine"
 	if *naive {
@@ -146,33 +201,45 @@ func main() {
 		fmt.Printf("warm starts: %d accepted (%d projected onto outage layouts), hit rate %.0f%%\n",
 			sum.WarmConverged, sum.Projected, 100*float64(sum.WarmConverged)/float64(sum.Total))
 	}
+	if pol != nil {
+		fmt.Printf("policy: dispatched %d scenarios cold (threshold %.4f)\n", sum.PolicyCold, pol.Threshold)
+	}
+	if sum.Islanded > 0 {
+		fmt.Printf("islanding: %d scenarios classified without solving\n", sum.Islanded)
+	}
 	if sum.Errors > 0 {
 		fmt.Printf("errors: %d scenarios failed to solve cleanly\n", sum.Errors)
 	}
 	if len(classes) > 0 {
-		fmt.Printf("\n%-10s %10s %8s %10s\n", "outage", "scenarios", "#µ", "warm")
+		fmt.Printf("\n%-14s %10s %8s %10s\n", "outage", "scenarios", "#µ", "warm")
 		for _, cl := range classes {
-			name := "intact"
-			if cl.OutBranch >= 0 {
-				br := c.Branches[cl.OutBranch]
-				name = fmt.Sprintf("%d-%d", br.From, br.To)
-			}
-			fmt.Printf("%-10s %10d %8d %10s\n", name, cl.Scenarios, cl.NIq, cl.WarmMode)
+			fmt.Printf("%-14s %10d %8d %10s\n", className(c, cl), cl.Scenarios, cl.NIq, cl.WarmMode)
 		}
+	}
+	if n2res != nil {
+		sumN2 := scopf.Summarize(n2res.Report.Outcomes)
+		fmt.Printf("\nN-2 (first draw): %d candidate pairs screened (%d pruned), %d islanded, %d/%d feasible\n",
+			len(n2res.Pairs), n2res.Skipped, sumN2.Islanded, sumN2.Feasible, sumN2.Total)
+		fmt.Printf("severity ranking (worst first): %v\n", n2res.Ranked)
 	}
 	if *verbose {
 		fmt.Printf("\n%6s %8s %10s %14s %6s %6s\n", "draw", "outage", "status", "cost ($/hr)", "iters", "warm")
-		per := len(cons) + boolInt(!*skipIntact)
+		per := len(cons) + len(genCons) + boolInt(!*skipIntact)
 		for i, o := range outs {
 			status := "secure"
 			switch {
 			case o.Err != nil:
 				status = "error"
+			case o.Islanded:
+				status = "islanded"
 			case !o.Feasible:
 				status = "insecure"
 			}
 			outage := "-"
-			if o.Scenario.OutBranch >= 0 {
+			switch {
+			case o.Scenario.OutagedGen() >= 0:
+				outage = "g" + strconv.Itoa(o.Scenario.OutagedGen())
+			case o.Scenario.OutBranch >= 0:
 				outage = strconv.Itoa(o.Scenario.OutBranch)
 			}
 			warm := "-"
@@ -187,9 +254,31 @@ func main() {
 	}
 }
 
+// className labels an outage class row: "intact", "br 1-4" (branch),
+// "br 1-4+3-6" (pair), "gen 2" or "br 1-4 gen 2".
+func className(c *grid.Case, cl scopf.ClassInfo) string {
+	if cl.Kind == "intact" {
+		return "intact"
+	}
+	var parts []string
+	if cl.OutBranch >= 0 {
+		br := c.Branches[cl.OutBranch]
+		s := fmt.Sprintf("br %d-%d", br.From, br.To)
+		if cl.OutBranch2 >= 0 {
+			b2 := c.Branches[cl.OutBranch2]
+			s += fmt.Sprintf("+%d-%d", b2.From, b2.To)
+		}
+		parts = append(parts, s)
+	}
+	if cl.OutGen >= 0 {
+		parts = append(parts, fmt.Sprintf("gen %d", cl.OutGen))
+	}
+	return strings.Join(parts, " ")
+}
+
 // printJSON emits the machine-readable summary (the cmd-line analogue of
 // POST /v1/screen's response).
-func printJSON(name string, naive bool, sum scopf.Summary, classes []scopf.ClassInfo, elapsed time.Duration) {
+func printJSON(name string, naive bool, sum scopf.Summary, classes []scopf.ClassInfo, elapsed time.Duration, pol *scopf.Policy, n2res *scopf.N2Result) {
 	path := "engine"
 	if naive {
 		path = "naive"
@@ -201,6 +290,8 @@ func printJSON(name string, naive bool, sum scopf.Summary, classes []scopf.Class
 		"feasible":          sum.Feasible,
 		"warm_converged":    sum.WarmConverged,
 		"projected":         sum.Projected,
+		"islanded":          sum.Islanded,
+		"policy_cold":       sum.PolicyCold,
 		"errors":            sum.Errors,
 		"mean_iterations":   sum.MeanIterations,
 		"worst_cost":        sum.WorstCost,
@@ -211,15 +302,59 @@ func printJSON(name string, naive bool, sum scopf.Summary, classes []scopf.Class
 		cls := make([]map[string]any, 0, len(classes))
 		for _, cl := range classes {
 			cls = append(cls, map[string]any{
-				"out_branch": cl.OutBranch, "scenarios": cl.Scenarios,
-				"nmu": cl.NIq, "warm_mode": cl.WarmMode,
+				"out_branch": cl.OutBranch, "out_branch2": cl.OutBranch2,
+				"out_gen": cl.OutGen, "kind": cl.Kind, "scenarios": cl.Scenarios,
+				"nmu": cl.NIq, "warm_mode": cl.WarmMode, "islanded": cl.Islanded,
 			})
 		}
 		report["classes"] = cls
 	}
+	if pol != nil {
+		// The policy object round-trips into POST /v1/screen's "policy" field.
+		report["policy"] = pol
+	}
+	if n2res != nil {
+		sumN2 := scopf.Summarize(n2res.Report.Outcomes)
+		report["n2"] = map[string]any{
+			"ranked":    n2res.Ranked,
+			"pairs":     len(n2res.Pairs),
+			"skipped":   n2res.Skipped,
+			"islanded":  sumN2.Islanded,
+			"feasible":  sumN2.Feasible,
+			"scenarios": sumN2.Total,
+		}
+	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	_ = enc.Encode(report)
+}
+
+// parseGens resolves the -gens flag; indices address Case.Gens. Explicit
+// entries must name in-service units ("all" keeps only cases where the
+// remaining fleet still has at least one other active unit, matching
+// scopf.GenContingencies).
+func parseGens(s string, c *grid.Case) ([]int, error) {
+	switch s {
+	case "all":
+		return scopf.GenContingencies(c), nil
+	case "none", "":
+		return nil, nil
+	}
+	var out []int
+	for _, p := range strings.Split(s, ",") {
+		g, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("bad -gens entry %q: %v", p, err)
+		}
+		if g < 0 || g >= len(c.Gens) {
+			return nil, fmt.Errorf("-gens entry %d outside [0, %d) for %s", g, len(c.Gens), c.Name)
+		}
+		if !c.Gens[g].Status {
+			return nil, fmt.Errorf("-gens entry %d: generator at bus %d of %s is out of service", g, c.Gens[g].Bus, c.Name)
+		}
+		out = append(out, g)
+	}
+	return out, nil
 }
 
 // parseContingencies resolves the -contingencies flag; indices address

@@ -7,15 +7,18 @@ import (
 	"repro/internal/sparse"
 )
 
-// This file implements the single-branch-outage topology delta that the
-// SC-OPF contingency screening derives scenarios from: instead of
-// rebuilding the case and its admittance matrices per N-1 scenario,
-// Case.WithoutBranch produces a cheap view of the outaged case and
+// This file implements the outage topology deltas that the SC-OPF
+// contingency screening derives scenarios from: instead of rebuilding
+// the case and its admittance matrices per scenario, Case.WithoutBranch
+// and Case.WithoutGen produce cheap views of the outaged case and
 // YMatrices.DropBranch subtracts the outaged branch's stamp from the
-// prepared matrices. Both are exact: the delta'd matrices are
+// prepared matrices. All are exact: the delta'd matrices are
 // bit-identical — pattern and values — to a fresh MakeYbus of the
 // outaged case, which is what lets the screening engine pin its results
-// to the naive per-scenario rebuild (see internal/scopf).
+// to the naive per-scenario rebuild (see internal/scopf). Connected and
+// ConnectedWithout classify outage topologies that split the network —
+// islanding scenarios the screening engine rejects before wasting
+// solver time on a structurally infeasible AC-OPF.
 
 // WithoutBranch returns a view of the case with branch l (an index into
 // c.Branches) out of service. The branch list is a fresh copy; buses,
@@ -30,6 +33,79 @@ func (c *Case) WithoutBranch(l int) *Case {
 	cp.Branches = append([]Branch(nil), c.Branches...)
 	cp.Branches[l].Status = false
 	return &cp
+}
+
+// WithoutGen returns a view of the case with generator g (an index into
+// c.Gens) out of service — the generator-outage analogue of
+// WithoutBranch. The generator list is a fresh copy; buses, branches
+// and the Normalize index are shared with c. Admittance matrices are
+// untouched by a generator drop (generators enter only through MakeSbus
+// and the OPF variable layout), so MakeYbus of the view is bit-identical
+// to MakeYbus of c.
+func (c *Case) WithoutGen(g int) *Case {
+	if g < 0 || g >= len(c.Gens) {
+		panic(fmt.Sprintf("grid: WithoutGen index %d outside %d generators", g, len(c.Gens)))
+	}
+	cp := *c
+	cp.Gens = append([]Gen(nil), c.Gens...)
+	cp.Gens[g].Status = false
+	return &cp
+}
+
+// Connected reports whether every bus is reachable from bus 0 over the
+// in-service branches — the from-scratch BFS reference the screening
+// package's incremental connectivity checks are pinned against, and the
+// islanding classifier for outage topology views (a disconnected
+// WithoutBranch view is an islanding scenario, not a solvable AC-OPF).
+func Connected(c *Case) bool {
+	return ConnectedWithout(c, nil)
+}
+
+// ConnectedWithout reports whether the network stays connected with the
+// given additional branches (indices into c.Branches) treated as out of
+// service on top of the case's own Status flags. A nil/empty skip set
+// checks the case as-is; duplicate or already-inactive skip entries are
+// harmless. This is the multi-outage primitive behind N-1 bridge
+// filtering and hierarchical N-2 islanding classification.
+func ConnectedWithout(c *Case, skip []int) bool {
+	nb := c.NB()
+	if nb == 0 {
+		return false
+	}
+	skipped := func(l int) bool {
+		for _, s := range skip {
+			if s == l {
+				return true
+			}
+		}
+		return false
+	}
+	adj := make([][]int, nb)
+	for l, br := range c.Branches {
+		if !br.Status || skipped(l) {
+			continue
+		}
+		f := c.BusIndex(br.From)
+		t := c.BusIndex(br.To)
+		adj[f] = append(adj[f], t)
+		adj[t] = append(adj[t], f)
+	}
+	seen := make([]bool, nb)
+	stack := []int{0}
+	seen[0] = true
+	count := 1
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, w := range adj[v] {
+			if !seen[w] {
+				seen[w] = true
+				count++
+				stack = append(stack, w)
+			}
+		}
+	}
+	return count == nb
 }
 
 // WithoutRow returns a copy of m with row l removed.

@@ -1,6 +1,7 @@
 package grid
 
 import (
+	"math/rand"
 	"testing"
 
 	"repro/internal/sparse"
@@ -85,6 +86,70 @@ func TestDropBranchMatchesRebuild(t *testing.T) {
 	}
 }
 
+// Property: the generator-drop view is bit-identical to a full rebuild
+// across all generators of all embedded systems — the admittance
+// matrices (which a generator cannot touch) match a fresh MakeYbus of
+// the rebuilt case pattern-and-values, and the active-generator
+// bookkeeping (count, bus indices) matches the rebuilt case exactly.
+// Mirror of TestDropBranchMatchesRebuild for the generator axis.
+func TestWithoutGenMatchesRebuild(t *testing.T) {
+	cases := []*Case{Case5(), Case9(), Case14(), Case30(), Case57(), Case118()}
+	if !testing.Short() {
+		cases = append(cases, Case300())
+	}
+	for _, c := range cases {
+		for g, gen := range c.Gens {
+			if !gen.Status {
+				continue
+			}
+			view := c.WithoutGen(g)
+			cc := c.Clone()
+			cc.Gens[g].Status = false
+			if err := cc.Normalize(); err != nil {
+				t.Fatalf("%s gen %d: %v", c.Name, g, err)
+			}
+			name := c.Name + "/genout"
+			sameComplexCSC(t, name+"/Ybus", MakeYbus(view).Ybus, MakeYbus(cc).Ybus)
+			if view.NG() != cc.NG() || view.NG() != c.NG()-1 {
+				t.Fatalf("%s gen %d: NG %d/%d want %d", c.Name, g, view.NG(), cc.NG(), c.NG()-1)
+			}
+			vIdx, wIdx := GenBusIdx(view), GenBusIdx(cc)
+			if len(vIdx) != len(wIdx) {
+				t.Fatalf("%s gen %d: %d active gens want %d", c.Name, g, len(vIdx), len(wIdx))
+			}
+			for i := range vIdx {
+				if vIdx[i] != wIdx[i] {
+					t.Fatalf("%s gen %d: GenBusIdx[%d] = %d want %d", c.Name, g, i, vIdx[i], wIdx[i])
+				}
+			}
+		}
+	}
+}
+
+func TestWithoutGenView(t *testing.T) {
+	c := Case9()
+	v := c.WithoutGen(1)
+	if !c.Gens[1].Status {
+		t.Fatal("view mutated the base case")
+	}
+	if v.Gens[1].Status {
+		t.Fatal("view generator still in service")
+	}
+	if v.NG() != c.NG()-1 {
+		t.Fatalf("view NG = %d want %d", v.NG(), c.NG()-1)
+	}
+	// The Normalize index is shared — no re-Normalize needed.
+	if v.BusIndex(c.Buses[0].ID) != 0 {
+		t.Fatal("bus index lost on the view")
+	}
+	// Cloning the view detaches it fully (the Perturb path).
+	cl := v.Clone()
+	cl.Gens[0].Pg = 321
+	if c.Gens[0].Pg == 321 || v.Gens[0].Pg == 321 {
+		t.Fatal("clone of the view shares generator storage")
+	}
+}
+
 func TestWithoutBranchView(t *testing.T) {
 	c := Case9()
 	v := c.WithoutBranch(3)
@@ -106,6 +171,36 @@ func TestWithoutBranchView(t *testing.T) {
 	cl.Buses[0].Pd = 123
 	if c.Buses[0].Pd == 123 || v.Buses[0].Pd == 123 {
 		t.Fatal("clone of the view shares bus storage")
+	}
+}
+
+// Fuzz-style property: for randomized outage subsets of every embedded
+// system, the multi-skip connectivity check agrees with the from-scratch
+// BFS on a case whose Status flags were actually flipped.
+func TestConnectedWithoutRandomSubsets(t *testing.T) {
+	rng := rand.New(rand.NewSource(40))
+	for _, c := range []*Case{Case9(), Case14(), Case30(), Case57()} {
+		if !Connected(c) {
+			t.Fatalf("%s not connected intact", c.Name)
+		}
+		for trial := 0; trial < 60; trial++ {
+			k := 1 + rng.Intn(4)
+			skip := make([]int, 0, k)
+			for len(skip) < k {
+				skip = append(skip, rng.Intn(len(c.Branches)))
+			}
+			got := ConnectedWithout(c, skip)
+			cc := c.Clone()
+			for _, l := range skip {
+				cc.Branches[l].Status = false
+			}
+			if err := cc.Normalize(); err != nil {
+				t.Fatal(err)
+			}
+			if want := Connected(cc); got != want {
+				t.Fatalf("%s skip %v: ConnectedWithout = %v, rebuilt BFS = %v", c.Name, skip, got, want)
+			}
+		}
 	}
 }
 

@@ -293,6 +293,179 @@ func (o *OPF) RebindOutage(branch int) (*OPF, error) {
 	return &cp, nil
 }
 
+// RebindGenOutage derives a prepared OPF for the generator-outage
+// variant of the bound case: generator gen (an index into Case.Gens) is
+// taken out of service. The admittance matrices are untouched — a
+// generator enters the problem only through MakeSbus and the variable
+// layout — so Y and the rated-branch subset are shared with o, while
+// the packed layout loses the generator's Pg and Qg variables (NG−1,
+// NX−2) and their finite-bound inequality rows. Warm starts predicted
+// in o's layout need ProjectStartGen, which also performs the screening
+// redispatch. The derived instance gets its own KKT ordering cache (the
+// KKT pattern loses two columns) with o's configured ordering.
+func (o *OPF) RebindGenOutage(gen int) (*OPF, error) {
+	t0 := time.Now()
+	if gen < 0 || gen >= len(o.Case.Gens) {
+		return nil, fmt.Errorf("opf: outage generator %d outside %d generators of %s", gen, len(o.Case.Gens), o.Case.Name)
+	}
+	if !o.Case.Gens[gen].Status {
+		return nil, fmt.Errorf("opf: outage generator %d of %s is already out of service", gen, o.Case.Name)
+	}
+	gi := 0 // position of gen within ActiveGens (the Pg/Qg variable blocks)
+	for i := 0; i < gen; i++ {
+		if o.Case.Gens[i].Status {
+			gi++
+		}
+	}
+	lay := o.Lay
+	// Delete the Qg entry first (the higher index), then the Pg entry, so
+	// the earlier offset stays valid.
+	dropVar := func(v la.Vector) la.Vector {
+		out := slices.Delete(slices.Clone(v), lay.QgOff+gi, lay.QgOff+gi+1)
+		return slices.Delete(out, lay.PgOff+gi, lay.PgOff+gi+1)
+	}
+	cp := *o
+	cp.Case = o.Case.WithoutGen(gen)
+	cp.gens = slices.Delete(slices.Clone(o.gens), gi, gi+1)
+	cp.gbus = slices.Delete(slices.Clone(o.gbus), gi, gi+1)
+	cp.xmin = dropVar(o.xmin)
+	cp.xmax = dropVar(o.xmax)
+	cp.Lay.NG = lay.NG - 1
+	cp.Lay.NX = lay.NX - 2
+	cp.Lay.QgOff = lay.QgOff - 1
+	nFinite := 0
+	for i := range cp.xmin {
+		if !math.IsInf(cp.xmin[i], -1) {
+			nFinite++
+		}
+		if !math.IsInf(cp.xmax[i], 1) {
+			nFinite++
+		}
+	}
+	cp.Lay.NIq = 2*lay.NLRated + nFinite
+	cp.kkt = sparse.NewOrderingCache(o.kkt.Ordering())
+	cp.prep = time.Since(t0)
+	return &cp, nil
+}
+
+// GenPos returns the position of the given case generator within the
+// in-service generator set (the Pg/Qg variable block index its dispatch
+// occupies), or -1 when the generator is out of service.
+func (o *OPF) GenPos(gen int) int {
+	if gen < 0 || gen >= len(o.Case.Gens) {
+		return -1
+	}
+	if !o.Case.Gens[gen].Status {
+		return -1
+	}
+	gi := 0
+	for i := 0; i < gen; i++ {
+		if o.Case.Gens[i].Status {
+			gi++
+		}
+	}
+	return gi
+}
+
+// ProjectStartGen maps a warm start predicted in o's layout onto the
+// layout of the variant with in-service generator position gi dropped
+// (see RebindGenOutage and GenPos). Two things happen:
+//
+//   - Redispatch: the outaged unit's real dispatch is re-spread across
+//     the remaining units in proportion to their upward headroom
+//     (clipped at Pmax), so the projected start approximately balances
+//     the system instead of starting lost-generation short. This is the
+//     screening redispatch convention (DESIGN.md §8).
+//   - Projection: the Pg/Qg entries of the dropped unit leave X, and
+//     the µ/Z rows of its finite variable bounds leave the inequality
+//     vectors (flow rows first, then finite upper bounds, then finite
+//     lower bounds — the FullInequality order). λ is unchanged, since
+//     a generator outage touches no equality row.
+func (o *OPF) ProjectStartGen(st *Start, gi int) *Start {
+	lay := o.Lay
+	if st == nil || gi < 0 || gi >= lay.NG {
+		return st
+	}
+	pg, qg := lay.PgOff+gi, lay.QgOff+gi
+	x := st.X
+	if len(x) == lay.NX {
+		x = slices.Clone(x)
+		if lost := x[pg]; lost > 0 {
+			total := 0.0
+			for g := 0; g < lay.NG; g++ {
+				if g == gi {
+					continue
+				}
+				if h := o.xmax[lay.PgOff+g] - x[lay.PgOff+g]; h > 0 && !math.IsInf(h, 1) {
+					total += h
+				}
+			}
+			if total > 0 {
+				for g := 0; g < lay.NG; g++ {
+					if g == gi {
+						continue
+					}
+					h := o.xmax[lay.PgOff+g] - x[lay.PgOff+g]
+					if h > 0 && !math.IsInf(h, 1) {
+						if add := lost * h / total; add < h {
+							x[lay.PgOff+g] += add
+						} else {
+							x[lay.PgOff+g] += h
+						}
+					}
+				}
+			}
+		}
+		x = slices.Delete(x, qg, qg+1)
+		x = slices.Delete(x, pg, pg+1)
+	}
+	mu, z := st.Mu, st.Z
+	if rows := o.boundRows(pg, qg); len(rows) > 0 && len(mu) == lay.NIq && len(z) == lay.NIq {
+		mu = dropRows(mu, rows)
+		z = dropRows(z, rows)
+	}
+	return &Start{X: x, Lam: st.Lam, Mu: mu, Z: z}
+}
+
+// boundRows returns the inequality-row indices (in FullInequality /
+// µ-vector order) of the finite bounds of the two packed variable
+// indices, ascending.
+func (o *OPF) boundRows(i1, i2 int) []int {
+	var rows []int
+	row := 2 * o.Lay.NLRated
+	for i := range o.xmax {
+		if !math.IsInf(o.xmax[i], 1) {
+			if i == i1 || i == i2 {
+				rows = append(rows, row)
+			}
+			row++
+		}
+	}
+	for i := range o.xmin {
+		if !math.IsInf(o.xmin[i], -1) {
+			if i == i1 || i == i2 {
+				rows = append(rows, row)
+			}
+			row++
+		}
+	}
+	return rows
+}
+
+// dropRows returns a copy of v without the (ascending) row indices.
+func dropRows(v la.Vector, rows []int) la.Vector {
+	out := make(la.Vector, 0, len(v)-len(rows))
+	k := 0
+	for i, x := range v {
+		if k < len(rows) && i == rows[k] {
+			k++
+			continue
+		}
+		out = append(out, x)
+	}
+	return out
+}
+
 // RatedPos returns the position of the given case branch within the
 // rated-branch subset (the flow-row index its |Sf|² constraint occupies),
 // or -1 when the branch is out of service or unrated — i.e. when its

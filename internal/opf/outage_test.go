@@ -105,6 +105,148 @@ func TestRebindOutageLayoutAndProjection(t *testing.T) {
 	}
 }
 
+// RebindGenOutage must reproduce a fresh Prepare of the generator-
+// outaged case bit for bit: identical layout and bounds across all
+// generators, and identical solver trajectories on one outage per case.
+// Mirror of TestRebindOutageMatchesPrepare for the generator axis.
+func TestRebindGenOutageMatchesPrepare(t *testing.T) {
+	for _, c := range []*grid.Case{grid.Case9(), grid.Case14(), grid.Case30()} {
+		base := Prepare(c)
+		solved := false
+		for gen, g := range c.Gens {
+			if !g.Status {
+				continue
+			}
+			got, err := base.RebindGenOutage(gen)
+			if err != nil {
+				t.Fatalf("%s gen %d: %v", c.Name, gen, err)
+			}
+			cc := c.Clone()
+			cc.Gens[gen].Status = false
+			if err := cc.Normalize(); err != nil {
+				t.Fatal(err)
+			}
+			want := Prepare(cc)
+			if got.Lay != want.Lay {
+				t.Fatalf("%s gen %d: layout %+v want %+v", c.Name, gen, got.Lay, want.Lay)
+			}
+			gmin, gmax := got.Bounds()
+			wmin, wmax := want.Bounds()
+			for i := range gmin {
+				if gmin[i] != wmin[i] || gmax[i] != wmax[i] {
+					t.Fatalf("%s gen %d: bounds[%d] differ: [%v,%v] want [%v,%v]",
+						c.Name, gen, i, gmin[i], gmax[i], wmin[i], wmax[i])
+				}
+			}
+			if solved {
+				continue // layouts checked for all; one slow solve per case
+			}
+			solved = true
+			gr, gerr := got.Solve(nil, Options{MaxIter: 25})
+			wr, werr := want.Solve(nil, Options{MaxIter: 25})
+			if (gerr == nil) != (werr == nil) || gr.Converged != wr.Converged || gr.Iterations != wr.Iterations {
+				t.Fatalf("%s gen %d: solve diverged from rebuild: (%v,%v,%d) vs (%v,%v,%d)",
+					c.Name, gen, gerr, gr.Converged, gr.Iterations, werr, wr.Converged, wr.Iterations)
+			}
+			if gr.Cost != wr.Cost {
+				t.Fatalf("%s gen %d: cost %v != %v (not bit-identical)", c.Name, gen, gr.Cost, wr.Cost)
+			}
+			for i := range gr.X {
+				if gr.X[i] != wr.X[i] {
+					t.Fatalf("%s gen %d: X[%d] differs", c.Name, gen, i)
+				}
+			}
+		}
+	}
+}
+
+// ProjectStartGen must drop exactly the outaged generator's variables
+// and bound rows, and its redispatch must conserve total real dispatch
+// when the remaining units have headroom.
+func TestProjectStartGenLayoutAndRedispatch(t *testing.T) {
+	c := grid.Case9()
+	base := Prepare(c)
+	lay := base.Lay
+	for gen := range c.Gens {
+		gi := base.GenPos(gen)
+		if gi < 0 {
+			t.Fatalf("gen %d in service but GenPos = %d", gen, gi)
+		}
+		o, err := base.RebindGenOutage(gen)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := &Start{
+			X:   make(la.Vector, lay.NX),
+			Lam: make(la.Vector, lay.NEq),
+			Mu:  make(la.Vector, lay.NIq),
+			Z:   make(la.Vector, lay.NIq),
+		}
+		for i := range st.Mu {
+			st.Mu[i] = float64(i)
+			st.Z[i] = float64(i) + 0.5
+		}
+		// A balanced mid-range dispatch: every unit at 40 % of Pmax.
+		total := 0.0
+		for g := 0; g < lay.NG; g++ {
+			st.X[lay.PgOff+g] = 0.4 * base.xmax[lay.PgOff+g]
+			total += st.X[lay.PgOff+g]
+		}
+		p := base.ProjectStartGen(st, gi)
+		if len(p.X) != o.Lay.NX || len(p.Mu) != o.Lay.NIq || len(p.Z) != o.Lay.NIq {
+			t.Fatalf("gen %d: projected dims X %d µ %d Z %d want %d/%d/%d",
+				gen, len(p.X), len(p.Mu), len(p.Z), o.Lay.NX, o.Lay.NIq, o.Lay.NIq)
+		}
+		if len(p.Lam) != lay.NEq {
+			t.Fatalf("gen %d: λ resized to %d", gen, len(p.Lam))
+		}
+		// Redispatch conserves total Pg (60 % headroom remains everywhere).
+		got := 0.0
+		for g := 0; g < o.Lay.NG; g++ {
+			got += p.X[o.Lay.PgOff+g]
+		}
+		if diff := got - total; diff > 1e-12 || diff < -1e-12 {
+			t.Fatalf("gen %d: redispatched total %v want %v", gen, got, total)
+		}
+		// Bounds respected after redispatch.
+		for g := 0; g < o.Lay.NG; g++ {
+			if p.X[o.Lay.PgOff+g] > o.xmax[o.Lay.PgOff+g] {
+				t.Fatalf("gen %d: redispatch overshoots Pmax at unit %d", gen, g)
+			}
+		}
+		// The µ rows dropped are exactly the four bound rows of the
+		// outaged unit's Pg/Qg (case9 has no flow-row change here).
+		rows := base.boundRows(lay.PgOff+gi, lay.QgOff+gi)
+		if len(rows) != 4 {
+			t.Fatalf("gen %d: %d bound rows want 4", gen, len(rows))
+		}
+		want := dropRows(st.Mu, rows)
+		for i := range p.Mu {
+			if p.Mu[i] != want[i] {
+				t.Fatalf("gen %d: projected µ[%d] = %v want %v", gen, i, p.Mu[i], want[i])
+			}
+		}
+	}
+	// Invalid inputs pass through / are rejected.
+	if _, err := base.RebindGenOutage(-1); err == nil {
+		t.Error("negative generator accepted")
+	}
+	if _, err := base.RebindGenOutage(len(c.Gens)); err == nil {
+		t.Error("out-of-range generator accepted")
+	}
+	cc := c.Clone()
+	cc.Gens[1].Status = false
+	if err := cc.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Prepare(cc).RebindGenOutage(1); err == nil {
+		t.Error("already-outaged generator accepted")
+	}
+	if gi := Prepare(cc).GenPos(1); gi != -1 {
+		t.Errorf("out-of-service generator reported GenPos %d", gi)
+	}
+}
+
 func TestRebindOutageRejectsBadBranch(t *testing.T) {
 	c := grid.Case14()
 	base := Prepare(c)

@@ -1,0 +1,155 @@
+package scopf
+
+import (
+	"sort"
+
+	"repro/internal/grid"
+	"repro/internal/la"
+)
+
+// Hierarchical N-2 screening. Exhaustively screening every branch pair
+// is quadratic in system size — C(L,2) AC-OPF solves against L for the
+// N-1 sweep. The hierarchy exploits that severe pairs are almost always
+// composed of individually severe single outages: rank the N-1 outcomes
+// by severity (solver effort plus binding-set size), then screen only
+// the pairs drawn from the top-K most severe branches. AllPairs keeps
+// the exact exhaustive enumeration as the pinned reference the pruned
+// screen is tested against (TestHierarchicalN2Sound).
+
+// severityInfeasible pins non-converged and errored outcomes above
+// every converged one in the severity order.
+const severityInfeasible = 1e9
+
+// Severity scores one screening outcome for hierarchical ranking:
+// solver effort (iterations) plus binding-set size for a secure
+// dispatch, with infeasible or errored outcomes ranked above every
+// converged one and islanding outcomes above those (any superset of an
+// islanding outage islands too).
+func Severity(o Outcome) float64 {
+	if o.Islanded {
+		return 2 * severityInfeasible
+	}
+	if o.Err != nil || !o.Feasible {
+		return severityInfeasible
+	}
+	return float64(o.Iterations) + float64(o.Binding)
+}
+
+// RankBySeverity orders contingency branch indices by decreasing
+// severity of their N-1 outcomes; outcomes[i] must be the screening
+// outcome of contingencies[i] (same load draw). Ties break on branch
+// index, so the ranking is deterministic.
+func RankBySeverity(contingencies []int, outcomes []Outcome) []int {
+	if len(contingencies) != len(outcomes) {
+		panic("scopf: RankBySeverity contingency/outcome length mismatch")
+	}
+	ranked := append([]int(nil), contingencies...)
+	sev := make(map[int]float64, len(contingencies))
+	for i, l := range contingencies {
+		sev[l] = Severity(outcomes[i])
+	}
+	sort.SliceStable(ranked, func(i, j int) bool {
+		si, sj := sev[ranked[i]], sev[ranked[j]]
+		if si != sj {
+			return si > sj
+		}
+		return ranked[i] < ranked[j]
+	})
+	return ranked
+}
+
+// TopKPairs crosses the K most severe ranked branches into candidate
+// N-2 pairs: the upper triangle of the K×K block in canonical
+// (low, high) branch order. k larger than the ranking uses all of it.
+func TopKPairs(ranked []int, k int) [][2]int {
+	if k > len(ranked) {
+		k = len(ranked)
+	}
+	var out [][2]int
+	for i := 0; i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			a, b := ranked[i], ranked[j]
+			if b < a {
+				a, b = b, a
+			}
+			out = append(out, [2]int{a, b})
+		}
+	}
+	return out
+}
+
+// AllPairs enumerates every branch pair of the contingency list in
+// canonical order — the exact exhaustive reference for the pruned
+// hierarchical screen.
+func AllPairs(contingencies []int) [][2]int {
+	var out [][2]int
+	for i := 0; i < len(contingencies); i++ {
+		for j := i + 1; j < len(contingencies); j++ {
+			a, b := contingencies[i], contingencies[j]
+			if b < a {
+				a, b = b, a
+			}
+			out = append(out, [2]int{a, b})
+		}
+	}
+	return out
+}
+
+// N2Result is the output of one hierarchical N-2 screen.
+type N2Result struct {
+	N1      *Report  // the N-1 sweep the ranking was derived from
+	Ranked  []int    // contingency branches by decreasing severity
+	Pairs   [][2]int // the candidate pairs actually screened
+	Skipped int      // pairs pruned away relative to the exhaustive set
+	Report  *Report  // outcomes of the screened pairs, Pairs order
+}
+
+// ScreenPairsTopK runs the hierarchy end to end for one load draw:
+// screen the N-1 contingency set, rank it by severity, cross the top-K
+// branches into candidate pairs and screen those. Islanding severity is
+// not predictable from single-outage severity (two individually mild
+// branches can island jointly), so the pruned remainder gets a cheap
+// connectivity sweep — one BFS per pair, no solver — and every
+// islanding pair is kept as a candidate regardless of rank. k <= 0
+// disables pruning and screens the exhaustive pair set (the reference
+// mode the pruned screen is pinned against).
+func (e *Engine) ScreenPairsTopK(factors la.Vector, k int) *N2Result {
+	c := e.baseCase()
+	cont := Contingencies(c)
+	n1 := e.Run(BuildScenarios([]la.Vector{factors}, cont))
+	// Drop the intact scenario BuildScenarios prepends: outcome i+1 is
+	// contingency i.
+	ranked := RankBySeverity(cont, n1.Outcomes[1:])
+	exhaustive := AllPairs(cont)
+	var pairs [][2]int
+	if k <= 0 {
+		pairs = exhaustive
+	} else {
+		pairs = TopKPairs(ranked, k)
+		seen := make(map[[2]int]bool, len(pairs))
+		for _, p := range pairs {
+			seen[p] = true
+		}
+		for _, p := range exhaustive {
+			if !seen[p] && !grid.ConnectedWithout(c, []int{p[0], p[1]}) {
+				pairs = append(pairs, p)
+				seen[p] = true
+			}
+		}
+	}
+	res := &N2Result{
+		N1: n1, Ranked: ranked, Pairs: pairs,
+		Skipped: len(exhaustive) - len(pairs),
+	}
+	res.Report = e.Run(BuildPairScenarios([]la.Vector{factors}, pairs))
+	return res
+}
+
+// baseCase resolves the case an engine screens, whether it was handed
+// the raw case or a prepared instance.
+func (e *Engine) baseCase() *grid.Case {
+	if e.Base != nil {
+		return e.Base
+	}
+	return e.Prepared.Case
+}

@@ -1,0 +1,154 @@
+package scopf
+
+import (
+	"testing"
+
+	"repro/internal/grid"
+	"repro/internal/la"
+)
+
+func uniformDraw(nb int, load float64) la.Vector {
+	f := make(la.Vector, nb)
+	for i := range f {
+		f[i] = load
+	}
+	return f
+}
+
+// Ranking is deterministic, ordered by decreasing severity with branch
+// index as the tiebreak, and pins infeasible above converged outcomes.
+func TestRankBySeverity(t *testing.T) {
+	cont := []int{3, 7, 11, 2}
+	outs := []Outcome{
+		{Feasible: true, Iterations: 20, Binding: 4},
+		{Feasible: false}, // non-converged: above every converged outcome
+		{Feasible: true, Iterations: 22, Binding: 2},
+		{Feasible: true, Iterations: 20, Binding: 4}, // ties branch 3 → index order
+	}
+	got := RankBySeverity(cont, outs)
+	want := []int{7, 2, 3, 11}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ranked %v want %v", got, want)
+		}
+	}
+	if s := Severity(Outcome{Islanded: true}); s <= Severity(outs[1]) {
+		t.Fatalf("islanding severity %v not above infeasible", s)
+	}
+	if s := Severity(Outcome{Err: errDummy}); s != severityInfeasible {
+		t.Fatalf("errored severity %v", s)
+	}
+}
+
+var errDummy = &dummyErr{}
+
+type dummyErr struct{}
+
+func (*dummyErr) Error() string { return "dummy" }
+
+func TestTopKPairsAllPairs(t *testing.T) {
+	ranked := []int{9, 2, 5, 1}
+	pairs := TopKPairs(ranked, 3)
+	want := [][2]int{{2, 9}, {5, 9}, {2, 5}}
+	if len(pairs) != len(want) {
+		t.Fatalf("%d pairs want %d", len(pairs), len(want))
+	}
+	for i := range want {
+		if pairs[i] != want[i] {
+			t.Fatalf("pairs %v want %v", pairs, want)
+		}
+	}
+	if got := TopKPairs(ranked, 99); len(got) != 6 {
+		t.Fatalf("oversized k produced %d pairs want 6", len(got))
+	}
+	if got := AllPairs([]int{4, 1, 3}); len(got) != 3 || got[0] != [2]int{1, 4} {
+		t.Fatalf("AllPairs %v", got)
+	}
+}
+
+// Hierarchical N-2 soundness on case14: the pruned screen must retain
+// every severe pair of the exact exhaustive reference — islanding pairs
+// through the connectivity sweep (their severity is invisible to
+// single-outage ranking) and solver-severe pairs through the top-K
+// block — and the outcomes of retained pairs must be bit-identical to
+// the exhaustive screen's.
+func TestHierarchicalN2Sound(t *testing.T) {
+	c := grid.Case14()
+	f := uniformDraw(c.NB(), 1.1)
+	e := &Engine{Base: c, Workers: 8}
+
+	exhaustive := e.ScreenPairsTopK(f, 0)
+	if exhaustive.Skipped != 0 {
+		t.Fatalf("exhaustive mode skipped %d pairs", exhaustive.Skipped)
+	}
+	exOut := make(map[[2]int]Outcome, len(exhaustive.Pairs))
+	for i, p := range exhaustive.Pairs {
+		exOut[p] = exhaustive.Report.Outcomes[i]
+	}
+
+	const k = 17 // retains every solver-severe pair of this draw
+	pruned := e.ScreenPairsTopK(f, k)
+	if pruned.Skipped <= 0 {
+		t.Fatal("pruning skipped nothing")
+	}
+	kept := make(map[[2]int]Outcome, len(pruned.Pairs))
+	for i, p := range pruned.Pairs {
+		kept[p] = pruned.Report.Outcomes[i]
+	}
+
+	severe := 0
+	for p, o := range exOut {
+		if Severity(o) < severityInfeasible {
+			continue
+		}
+		severe++
+		po, ok := kept[p]
+		if !ok {
+			t.Fatalf("severe pair %v (sev %.0f) pruned away", p, Severity(o))
+		}
+		if po.Islanded != o.Islanded || po.Feasible != o.Feasible ||
+			po.Cost != o.Cost || po.Iterations != o.Iterations || po.Binding != o.Binding {
+			t.Fatalf("pair %v outcome differs between pruned and exhaustive:\n %+v\n %+v", p, po, o)
+		}
+	}
+	if severe == 0 {
+		t.Fatal("draw produced no severe pairs; the retention check is vacuous")
+	}
+	// Every retained pair, severe or not, matches the reference.
+	for p, po := range kept {
+		o, ok := exOut[p]
+		if !ok {
+			t.Fatalf("pruned screen invented pair %v", p)
+		}
+		if po.Cost != o.Cost || po.Iterations != o.Iterations {
+			t.Fatalf("pair %v not bit-identical to exhaustive", p)
+		}
+	}
+}
+
+// The hierarchical screen must be bit-identical across worker counts,
+// end to end: same ranking, same candidate pairs, same outcomes.
+func TestHierarchicalN2SeqParallelIdentical(t *testing.T) {
+	c := grid.Case14()
+	f := uniformDraw(c.NB(), 1.05)
+	seq := (&Engine{Base: c, Workers: 1}).ScreenPairsTopK(f, 8)
+	par := (&Engine{Base: c, Workers: 8}).ScreenPairsTopK(f, 8)
+	if len(seq.Ranked) != len(par.Ranked) {
+		t.Fatalf("ranking lengths differ: %d vs %d", len(seq.Ranked), len(par.Ranked))
+	}
+	for i := range seq.Ranked {
+		if seq.Ranked[i] != par.Ranked[i] {
+			t.Fatalf("rankings differ at %d: %v vs %v", i, seq.Ranked, par.Ranked)
+		}
+	}
+	if len(seq.Pairs) != len(par.Pairs) || seq.Skipped != par.Skipped {
+		t.Fatalf("candidate sets differ: %d/%d vs %d/%d", len(seq.Pairs), seq.Skipped, len(par.Pairs), par.Skipped)
+	}
+	for i := range seq.Pairs {
+		if seq.Pairs[i] != par.Pairs[i] {
+			t.Fatalf("pair order differs at %d", i)
+		}
+	}
+	sameOutcomes(t, par.Report.Outcomes, seq.Report.Outcomes)
+	sameOutcomes(t, par.N1.Outcomes, seq.N1.Outcomes)
+}

@@ -1,0 +1,110 @@
+package scopf
+
+import (
+	"testing"
+
+	"repro/internal/grid"
+)
+
+// Threshold calibration on a separable synthetic log: every strictly
+// losing sample must be rejected while winners stay accepted. An
+// iteration tie is neither — it must not drag the threshold up and
+// force same-featured winners cold.
+func TestPolicyThresholdCalibration(t *testing.T) {
+	var samples []PolicySample
+	for i := 0; i < 20; i++ {
+		samples = append(samples,
+			PolicySample{
+				Feat:          PolicyFeatures{Buses: 30, LoadDev: 0.05},
+				WarmConverged: true, WarmIters: 10, ColdIters: 20,
+			},
+			PolicySample{ // tie: same features as the winner above
+				Feat:          PolicyFeatures{Buses: 30, LoadDev: 0.05},
+				WarmConverged: true, WarmIters: 20, ColdIters: 20,
+			},
+			PolicySample{
+				Feat:          PolicyFeatures{Buses: 30, LoadDev: 0.9, DroppedIq: 2},
+				WarmConverged: true, WarmIters: 25, ColdIters: 20,
+			},
+			PolicySample{ // non-convergence is a loss regardless of iterations
+				Feat:          PolicyFeatures{Buses: 30, LoadDev: 0.8, Pair: 1},
+				WarmConverged: false, WarmIters: 0, ColdIters: 20,
+			})
+	}
+	pol := TrainPolicy(samples)
+	if pol == nil {
+		t.Fatal("nil policy from a non-empty log")
+	}
+	accepted := 0
+	for _, s := range samples {
+		switch {
+		case s.WarmHurts() && pol.UseWarm(s.Feat):
+			t.Fatalf("strictly losing sample accepted: %+v score %.4f thr %.4f", s.Feat, pol.Score(s.Feat), pol.Threshold)
+		case s.WarmWins() && pol.UseWarm(s.Feat):
+			accepted++
+		}
+	}
+	if accepted == 0 {
+		t.Error("separable log trained a policy that accepts no winner")
+	}
+	if TrainPolicy(nil) != nil {
+		t.Error("empty log did not return a nil policy")
+	}
+}
+
+// Regression guard for the case30 counter-regime (BENCH_paper.json
+// records warm screening there at 0.71× — slower than cold): a policy
+// trained on recorded case30 screening logs must never select a mode
+// that was measured slower than the cold baseline, in-sample and
+// end-to-end through the engine.
+func TestPolicyNeverSlowerThanCold(t *testing.T) {
+	c := grid.Case30()
+	m := trainModel(t, c, 30)
+	draws := loadDraws(c.NB(), 4, 31)
+	scenarios := BuildScenarios(draws, Contingencies(c)[:3])
+	scenarios = append(scenarios, BuildGenScenarios(draws[:2], GenContingencies(c)[:2])...)
+
+	e := &Engine{Base: c, Model: m, Workers: 8}
+	samples := CollectPolicySamples(e, scenarios)
+	if len(samples) == 0 {
+		t.Fatal("screening log yielded no policy samples")
+	}
+	pol := TrainPolicy(samples)
+	losses := 0
+	for _, s := range samples {
+		if !s.WarmHurts() {
+			continue
+		}
+		losses++
+		if pol.UseWarm(s.Feat) {
+			t.Fatalf("policy accepts a warm start measured slower than cold: %+v (warm %d vs cold %d, converged %v)",
+				s.Feat, s.WarmIters, s.ColdIters, s.WarmConverged)
+		}
+	}
+
+	// End-to-end: on the recorded scenarios the policy-driven screen
+	// must never spend more solver iterations than the cold baseline on
+	// any scenario — rejected warm starts collapse to the identical
+	// cold solve, accepted ones were measured cheaper.
+	polRep := (&Engine{Base: c, Model: m, Workers: 8, Policy: pol}).Run(scenarios)
+	coldRep := (&Engine{Base: c, Workers: 8}).Run(scenarios)
+	totPol, totCold := 0, 0
+	for i := range polRep.Outcomes {
+		p, cd := polRep.Outcomes[i], coldRep.Outcomes[i]
+		if p.Err != nil || cd.Err != nil || !cd.Feasible {
+			continue
+		}
+		if p.Feasible && p.Iterations > cd.Iterations {
+			t.Errorf("scenario %d: policy mode took %d iterations, cold %d", i, p.Iterations, cd.Iterations)
+		}
+		totPol += p.Iterations
+		totCold += cd.Iterations
+	}
+	if totPol > totCold {
+		t.Errorf("policy screen spent %d total iterations, cold %d", totPol, totCold)
+	}
+	// Where the log recorded losses, the dispatch must actually go cold.
+	if sum := Summarize(polRep.Outcomes); losses > 0 && sum.PolicyCold == 0 {
+		t.Errorf("log recorded %d warm losses but the policy never chose cold", losses)
+	}
+}

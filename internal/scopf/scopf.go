@@ -33,10 +33,40 @@ import (
 )
 
 // Scenario is one node of the uncertainty tree: a load draw plus an
-// optional branch outage (-1 = no contingency).
+// optional topology perturbation — a branch outage, an N-2 branch pair,
+// a generator outage, or a branch+generator combination.
+//
+// OutBranch keeps its historic encoding (-1 = no contingency). The two
+// newer axes are stored 1-based so the struct's zero value still means
+// "intact topology" and existing Scenario literals keep their meaning:
+// OutBranch2 and OutGen hold 1+index, 0 means none. Use the
+// PairScenario/GenScenario constructors and the SecondBranch/OutagedGen
+// accessors instead of setting the raw fields.
 type Scenario struct {
 	Factors   la.Vector // per-bus load multipliers
 	OutBranch int       // index into Case.Branches, or -1
+	// OutBranch2 is 1+index of the second outaged branch of an N-2
+	// pair; 0 (the zero value) means no second outage.
+	OutBranch2 int
+	// OutGen is 1+index (into Case.Gens) of the dropped generator;
+	// 0 (the zero value) means no generator outage.
+	OutGen int
+}
+
+// SecondBranch returns the second outaged branch of an N-2 pair, or -1.
+func (s Scenario) SecondBranch() int { return s.OutBranch2 - 1 }
+
+// OutagedGen returns the dropped generator index, or -1.
+func (s Scenario) OutagedGen() int { return s.OutGen - 1 }
+
+// PairScenario builds an N-2 scenario outaging branches b1 and b2.
+func PairScenario(factors la.Vector, b1, b2 int) Scenario {
+	return Scenario{Factors: factors, OutBranch: b1, OutBranch2: b2 + 1}
+}
+
+// GenScenario builds a generator-outage scenario dropping Case.Gens[g].
+func GenScenario(factors la.Vector, g int) Scenario {
+	return Scenario{Factors: factors, OutBranch: -1, OutGen: g + 1}
 }
 
 // Outcome is the result of screening one scenario.
@@ -45,9 +75,20 @@ type Outcome struct {
 	Feasible   bool    // the scenario admits a secure dispatch
 	Cost       float64 // $/hr when feasible
 	Iterations int
-	WarmUsed   bool  // the model warm start converged (no restart)
-	Projected  bool  // the warm start was projected onto an outage layout
-	Err        error // solver/derivation error; nil for a clean infeasible
+	WarmUsed   bool // the model warm start converged (no restart)
+	Projected  bool // the warm start was projected onto an outage layout
+	// Islanded marks a structurally infeasible scenario: the outage
+	// topology splits the network, so no solver was invoked (the
+	// scenario is classified, not solved — Iterations stays 0).
+	Islanded bool
+	// Binding counts the active inequality rows at the accepted solution
+	// (slack below bindingTol) — the severity signal hierarchical N-2
+	// pruning and the dispatch policy both consume.
+	Binding int
+	// ColdByPolicy marks a scenario whose warm start was available but
+	// where the dispatch policy chose the cold path.
+	ColdByPolicy bool
+	Err          error // solver/derivation error; nil for a clean infeasible
 }
 
 // Predictor produces a warm-start point from a model input [Pd; Qd].
@@ -79,10 +120,14 @@ func (m warmMode) String() string {
 
 // ClassInfo describes one topology class of a screening run.
 type ClassInfo struct {
-	OutBranch int    // -1 for the intact topology
-	Scenarios int    // scenarios screened in this class
-	NIq       int    // inequality rows of the class layout (#µ)
-	WarmMode  string // "exact", "projected" or "cold"
+	OutBranch  int    // -1 for the intact topology
+	OutBranch2 int    // second branch of an N-2 pair, or -1
+	OutGen     int    // dropped generator, or -1
+	Kind       string // "intact", "branch", "pair", "gen" or "branch+gen"
+	Scenarios  int    // scenarios screened in this class
+	NIq        int    // inequality rows of the class layout (#µ)
+	WarmMode   string // "exact", "projected" or "cold"
+	Islanded   bool   // the outage splits the network; nothing was solved
 }
 
 // Report is the full result of an Engine run: outcomes in scenario
@@ -108,23 +153,85 @@ type Engine struct {
 	// Workers sizes the batch pool (0 resolves through PGSIM_WORKERS,
 	// batch.SetDefaultWorkers, GOMAXPROCS; 1 is sequential).
 	Workers int
-	// NoProjection disables the rated-outage warm-start projection, so
-	// layout-changing contingencies cold-solve exactly like the naive
-	// reference path (the bit-identity pinning mode).
+	// NoProjection disables warm-start projection onto outage layouts,
+	// so layout-changing contingencies cold-solve exactly like the
+	// naive reference path (the bit-identity pinning mode).
 	NoProjection bool
+	// Policy, when set, decides warm vs cold per scenario from the
+	// cheap feature vector (see PolicyFeatures) instead of always
+	// taking an available warm start — the dispatch policy that turns
+	// warm-start counter-regimes (case30, BENCH_paper.json) into an
+	// explicit "go cold here" decision.
+	Policy *Policy
+}
+
+// classKey identifies one topology class: the canonicalized outage
+// combination (branch indices ascending, -1 = none).
+type classKey struct {
+	b1, b2 int // outaged branches, b1 <= b2 when both set, -1 = none
+	g      int // outaged generator, -1 = none
+}
+
+// key canonicalizes a scenario's outage fields into its topology class.
+func (s Scenario) key() classKey {
+	b1, b2 := s.OutBranch, s.SecondBranch()
+	if b1 < 0 {
+		b1 = -1
+	}
+	if b2 < 0 {
+		b2 = -1
+	}
+	if b1 < 0 && b2 >= 0 {
+		b1, b2 = b2, -1
+	}
+	if b2 >= 0 && b2 < b1 {
+		b1, b2 = b2, b1
+	}
+	if b1 == b2 {
+		b2 = -1 // degenerate pair collapses to a single outage
+	}
+	g := s.OutagedGen()
+	if g < 0 {
+		g = -1
+	}
+	return classKey{b1: b1, b2: b2, g: g}
+}
+
+// kind names the outage combination of a class.
+func (k classKey) kind() string {
+	switch {
+	case k.g >= 0 && k.b1 >= 0:
+		return "branch+gen"
+	case k.g >= 0:
+		return "gen"
+	case k.b2 >= 0:
+		return "pair"
+	case k.b1 >= 0:
+		return "branch"
+	}
+	return "intact"
 }
 
 // class is one prepared topology variant.
 type class struct {
-	opf      *opf.OPF
-	ratedPos int // rated-subset position of the outage, -1 if layout kept
-	mode     warmMode
-	err      error // derivation failure (invalid outage index)
+	opf  *opf.OPF
+	mode warmMode
+	// project maps a base-layout prediction onto the class layout — the
+	// composition of the per-outage projections in derivation order;
+	// nil when the layout is unchanged.
+	project  func(*opf.Start) *opf.Start
+	islanded bool   // the outage splits the network; never solved
+	kind     string // classKey.kind()
+	// droppedIq is how many inequality rows the outage removed relative
+	// to the base layout — the binding-set-distance input of the policy.
+	droppedIq int
+	err       error // derivation failure (invalid outage index)
 }
 
 // Run screens every scenario and returns outcomes in scenario order.
 // Results are bit-identical for any worker count, and — warm-start
-// policy aside (see NoProjection) — to the ScreenNaive reference.
+// policy aside (see NoProjection, Policy) — to the ScreenNaive
+// reference.
 func (e *Engine) Run(scenarios []Scenario) *Report {
 	base := e.Prepared
 	if base == nil {
@@ -132,26 +239,14 @@ func (e *Engine) Run(scenarios []Scenario) *Report {
 	}
 
 	preds := e.Predictors
-	var modelLay *opf.Layout
-	switch {
-	case len(preds) > 0:
-		// Explicit replicas predict in the base layout by contract.
-		lay := base.Lay
-		modelLay = &lay
-	case e.Model != nil:
-		lay := e.Model.Lay
-		modelLay = &lay
-	}
+	modelLay := e.modelLayout(base)
 
 	// One prepared OPF per distinct topology, first-seen order.
-	classes := map[int]*class{}
-	counts := map[int]int{}
-	var order []int
+	classes := map[classKey]*class{}
+	counts := map[classKey]int{}
+	var order []classKey
 	for _, sc := range scenarios {
-		key := sc.OutBranch
-		if key < 0 {
-			key = -1
-		}
+		key := sc.key()
 		counts[key]++
 		if _, ok := classes[key]; ok {
 			continue
@@ -165,18 +260,18 @@ func (e *Engine) Run(scenarios []Scenario) *Report {
 	out := make([]Outcome, len(scenarios))
 	_ = batch.Run(len(scenarios), batch.Options{Workers: e.Workers}, func(t *batch.Task) error {
 		sc := scenarios[t.Index]
-		key := sc.OutBranch
-		if key < 0 {
-			key = -1
-		}
-		out[t.Index] = screenClass(base, classes[key], pool, sc)
+		out[t.Index] = screenClass(base, classes[sc.key()], pool, e.Policy, sc)
 		return nil
 	})
 
 	rep := &Report{Outcomes: out}
 	for _, key := range order {
 		cl := classes[key]
-		info := ClassInfo{OutBranch: key, Scenarios: counts[key], WarmMode: cl.mode.String()}
+		info := ClassInfo{
+			OutBranch: key.b1, OutBranch2: key.b2, OutGen: key.g,
+			Kind: cl.kind, Scenarios: counts[key],
+			WarmMode: cl.mode.String(), Islanded: cl.islanded,
+		}
 		if cl.opf != nil {
 			info.NIq = cl.opf.Lay.NIq
 		}
@@ -185,36 +280,91 @@ func (e *Engine) Run(scenarios []Scenario) *Report {
 	return rep
 }
 
-// buildClass derives the prepared OPF and warm policy of one topology.
-func (e *Engine) buildClass(base *opf.OPF, modelLay *opf.Layout, key int) *class {
-	cl := &class{ratedPos: -1}
-	switch {
-	case key < 0:
-		cl.opf = base
-	case key >= len(base.Case.Branches):
-		cl.err = fmt.Errorf("scopf: outage branch %d outside %d branches", key, len(base.Case.Branches))
+// buildClass derives the prepared OPF, projection chain and warm policy
+// of one topology class. Branch outages are applied first (ascending),
+// then the generator drop; each layout-changing step contributes one
+// projection leg, and the composition in derivation order maps a
+// base-layout prediction onto the class layout.
+func (e *Engine) buildClass(base *opf.OPF, modelLay *opf.Layout, key classKey) *class {
+	cl := &class{kind: key.kind()}
+	nbr := len(base.Case.Branches)
+	for _, b := range []int{key.b1, key.b2} {
+		if b >= nbr {
+			cl.err = fmt.Errorf("scopf: outage branch %d outside %d branches", b, nbr)
+			return cl
+		}
+	}
+	if g := key.g; g >= 0 {
+		switch {
+		case g >= len(base.Case.Gens):
+			cl.err = fmt.Errorf("scopf: outage generator %d outside %d generators", g, len(base.Case.Gens))
+			return cl
+		case !base.Case.Gens[g].Status:
+			cl.err = fmt.Errorf("scopf: outage generator %d already out of service", g)
+			return cl
+		}
+	}
+
+	// Islanding classification on the outage topology view: a scenario
+	// whose branch outages split the network is structurally infeasible
+	// — classify it instead of wasting solver time.
+	var skips []int
+	for _, b := range []int{key.b1, key.b2} {
+		if b >= 0 && base.Case.Branches[b].Status {
+			skips = append(skips, b)
+		}
+	}
+	if len(skips) > 0 && !grid.ConnectedWithout(base.Case, skips) {
+		cl.islanded = true
 		return cl
-	case !base.Case.Branches[key].Status:
-		// Outage of an already-inactive branch leaves the topology as-is.
-		cl.opf = base
-	default:
-		o, err := base.RebindOutage(key)
+	}
+
+	// Derivation chain: base → branch outages → generator drop. Outages
+	// of already-inactive branches leave the topology as-is (no step).
+	cur := base
+	var steps []func(*opf.Start) *opf.Start
+	for _, b := range skips {
+		src := cur
+		rl := src.RatedPos(b)
+		o, err := src.RebindOutage(b)
 		if err != nil {
 			cl.err = err
 			return cl
 		}
-		cl.opf = o
-		cl.ratedPos = base.RatedPos(key)
+		if rl >= 0 {
+			steps = append(steps, func(st *opf.Start) *opf.Start { return src.ProjectStart(st, rl) })
+		}
+		cur = o
 	}
+	if key.g >= 0 {
+		src := cur
+		gi := src.GenPos(key.g)
+		o, err := src.RebindGenOutage(key.g)
+		if err != nil {
+			cl.err = err
+			return cl
+		}
+		steps = append(steps, func(st *opf.Start) *opf.Start { return src.ProjectStartGen(st, gi) })
+		cur = o
+	}
+	cl.opf = cur
+	cl.droppedIq = base.Lay.NIq - cur.Lay.NIq
+
 	if modelLay == nil {
 		return cl
 	}
+	baseMatches := base.Lay.NIq == modelLay.NIq && base.Lay.NEq == modelLay.NEq && base.Lay.NX == modelLay.NX
 	switch {
-	case cl.opf.Lay.NIq == modelLay.NIq && cl.opf.Lay.NEq == modelLay.NEq:
+	case cur.Lay.NIq == modelLay.NIq && cur.Lay.NEq == modelLay.NEq && cur.Lay.NX == modelLay.NX:
 		cl.mode = warmExact
-	case !e.NoProjection && cl.ratedPos >= 0 &&
-		base.Lay.NIq == modelLay.NIq && base.Lay.NEq == modelLay.NEq:
+	case !e.NoProjection && len(steps) > 0 && baseMatches:
 		cl.mode = warmProjected
+		cl.project = func(st *opf.Start) *opf.Start {
+			for _, step := range steps {
+				st = step(st)
+			}
+			return st
+		}
 	}
 	return cl
 }
@@ -249,22 +399,50 @@ func replicaPool(m *mtl.Model, preds []Predictor, workers, scenarios int) chan P
 	return pool
 }
 
+// bindingTol is the slack threshold below which an inequality row
+// counts as binding at the accepted solution. MIPS drives feasible
+// slacks to ~µ/z scale; 1e-6 separates active rows cleanly on every
+// embedded system.
+const bindingTol = 1e-6
+
+// bindingCount counts inequality rows whose slack is at its bound.
+func bindingCount(z la.Vector) int {
+	n := 0
+	for _, zi := range z {
+		if zi < bindingTol {
+			n++
+		}
+	}
+	return n
+}
+
 // screenClass solves one scenario on its class's prepared structure.
-func screenClass(base *opf.OPF, cl *class, pool chan Predictor, sc Scenario) Outcome {
+func screenClass(base *opf.OPF, cl *class, pool chan Predictor, pol *Policy, sc Scenario) Outcome {
 	if cl.err != nil {
 		return Outcome{Scenario: sc, Err: cl.err}
 	}
+	if cl.islanded {
+		// Structurally infeasible: classified, never solved.
+		return Outcome{Scenario: sc, Islanded: true}
+	}
 	inst := cl.opf.Perturb(sc.Factors)
 	var start *opf.Start
+	coldByPolicy := false
 	if pool != nil && cl.mode != warmCold {
-		p := <-pool
-		start = p.Predict(dataset.InputVector(inst.Case))
-		pool <- p
-		if cl.mode == warmProjected {
-			start = base.ProjectStart(start, cl.ratedPos)
+		if pol != nil && !pol.UseWarm(featuresOf(base.Case, cl, sc)) {
+			coldByPolicy = true
+		} else {
+			p := <-pool
+			start = p.Predict(dataset.InputVector(inst.Case))
+			pool <- p
+			if cl.project != nil {
+				start = cl.project(start)
+			}
 		}
 	}
-	return solveOutcome(inst, sc, start, cl.mode == warmProjected)
+	out := solveOutcome(inst, sc, start, cl.mode == warmProjected)
+	out.ColdByPolicy = coldByPolicy
+	return out
 }
 
 // solveOutcome runs the warm→cold pipeline of one scenario: try the
@@ -280,6 +458,7 @@ func solveOutcome(inst *opf.OPF, sc Scenario, start *opf.Start, projected bool) 
 			res.Iterations = r.Iterations
 			res.WarmUsed = true
 			res.Projected = projected
+			res.Binding = bindingCount(r.Z)
 			return res
 		}
 	}
@@ -292,6 +471,7 @@ func solveOutcome(inst *opf.OPF, sc Scenario, start *opf.Start, projected bool) 
 		res.Feasible = true
 		res.Cost = r.Cost
 		res.Iterations = r.Iterations
+		res.Binding = bindingCount(r.Z)
 	}
 	return res
 }
@@ -322,23 +502,51 @@ func (s *Screener) Screen(scenarios []Scenario) []Outcome {
 // ScreenNaive is the reference screening path: every scenario deep-clones
 // the case, re-Normalizes, rebuilds the admittance matrices and layout
 // with a fresh opf.Prepare, and warm-starts only when the contingency
-// preserves the model's constraint layout (rated-branch outages fall
-// back to cold). It exists as the pinning target and benchmark baseline
-// for the Engine, which must reproduce its outcomes bit for bit when
-// projection is disabled.
+// preserves the model's constraint layout (layout-changing outages fall
+// back to cold). It mirrors the Engine's full contingency-space
+// semantics — validation order, islanding classification, generator and
+// N-2 pair outages — and exists as the pinning target and benchmark
+// baseline for the Engine, which must reproduce its outcomes bit for
+// bit when projection is disabled.
 func ScreenNaive(base *grid.Case, m *mtl.Model, scenarios []Scenario, workers int) []Outcome {
 	pool := replicaPool(m, nil, workers, len(scenarios))
 	out := make([]Outcome, len(scenarios))
 	_ = batch.Run(len(scenarios), batch.Options{Workers: workers}, func(t *batch.Task) error {
 		sc := scenarios[t.Index]
-		if sc.OutBranch >= len(base.Branches) {
-			out[t.Index] = Outcome{Scenario: sc, Err: fmt.Errorf("scopf: outage branch %d outside %d branches", sc.OutBranch, len(base.Branches))}
-			return nil
+		key := sc.key()
+		// Validation order matches Engine.buildClass: branch ranges,
+		// then generator range and service status, then islanding.
+		for _, b := range []int{key.b1, key.b2} {
+			if b >= len(base.Branches) {
+				out[t.Index] = Outcome{Scenario: sc, Err: fmt.Errorf("scopf: outage branch %d outside %d branches", b, len(base.Branches))}
+				return nil
+			}
+		}
+		if g := key.g; g >= 0 {
+			switch {
+			case g >= len(base.Gens):
+				out[t.Index] = Outcome{Scenario: sc, Err: fmt.Errorf("scopf: outage generator %d outside %d generators", g, len(base.Gens))}
+				return nil
+			case !base.Gens[g].Status:
+				out[t.Index] = Outcome{Scenario: sc, Err: fmt.Errorf("scopf: outage generator %d already out of service", g)}
+				return nil
+			}
 		}
 		c := base.Clone()
 		c.ScaleLoads(sc.Factors)
-		if sc.OutBranch >= 0 {
-			c.Branches[sc.OutBranch].Status = false
+		outaged := false
+		for _, b := range []int{key.b1, key.b2} {
+			if b >= 0 && c.Branches[b].Status {
+				c.Branches[b].Status = false
+				outaged = true
+			}
+		}
+		if outaged && !grid.Connected(c) {
+			out[t.Index] = Outcome{Scenario: sc, Islanded: true}
+			return nil
+		}
+		if key.g >= 0 {
+			c.Gens[key.g].Status = false
 		}
 		if err := c.Normalize(); err != nil {
 			out[t.Index] = Outcome{Scenario: sc, Err: err}
@@ -346,7 +554,7 @@ func ScreenNaive(base *grid.Case, m *mtl.Model, scenarios []Scenario, workers in
 		}
 		o := opf.Prepare(c)
 		var start *opf.Start
-		if m != nil && o.Lay.NIq == m.Lay.NIq && o.Lay.NEq == m.Lay.NEq {
+		if m != nil && o.Lay.NIq == m.Lay.NIq && o.Lay.NEq == m.Lay.NEq && o.Lay.NX == m.Lay.NX {
 			p := <-pool
 			start = p.Predict(dataset.InputVector(c))
 			pool <- p
@@ -374,34 +582,35 @@ func Contingencies(c *grid.Case) []int {
 	return out
 }
 
+// connectedWithout reports single-outage connectivity through the
+// shared grid primitive (kept as the package-local shim the N-1
+// enumeration has always used).
 func connectedWithout(c *grid.Case, skip int) bool {
-	nb := c.NB()
-	adj := make([][]int, nb)
-	for l, br := range c.Branches {
-		if !br.Status || l == skip {
-			continue
-		}
-		f := c.BusIndex(br.From)
-		t := c.BusIndex(br.To)
-		adj[f] = append(adj[f], t)
-		adj[t] = append(adj[t], f)
-	}
-	seen := make([]bool, nb)
-	stack := []int{0}
-	seen[0] = true
-	count := 1
-	for len(stack) > 0 {
-		v := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		for _, w := range adj[v] {
-			if !seen[w] {
-				seen[w] = true
-				count++
-				stack = append(stack, w)
-			}
+	return grid.ConnectedWithout(c, []int{skip})
+}
+
+// GenContingencies enumerates the single-generator outages that leave
+// at least one other unit in service — the generator axis of the N-1
+// set. Connectivity is unaffected by a generator drop, so the only
+// structural exclusion is losing the last unit (no dispatchable
+// generation left, trivially infeasible).
+func GenContingencies(c *grid.Case) []int {
+	active := 0
+	for _, g := range c.Gens {
+		if g.Status {
+			active++
 		}
 	}
-	return count == nb
+	var out []int
+	if active < 2 {
+		return out
+	}
+	for g, gen := range c.Gens {
+		if gen.Status {
+			out = append(out, g)
+		}
+	}
+	return out
 }
 
 // BuildScenarios crosses load draws with contingencies (plus the intact
@@ -417,10 +626,37 @@ func BuildScenarios(draws []la.Vector, contingencies []int) []Scenario {
 	return out
 }
 
+// BuildGenScenarios crosses load draws with generator outages into a
+// scenario list (no intact entries — pair with BuildScenarios).
+func BuildGenScenarios(draws []la.Vector, gens []int) []Scenario {
+	out := make([]Scenario, 0, len(draws)*len(gens))
+	for _, f := range draws {
+		for _, g := range gens {
+			out = append(out, GenScenario(f, g))
+		}
+	}
+	return out
+}
+
+// BuildPairScenarios crosses load draws with N-2 branch pairs into a
+// scenario list. Islanding pairs are legal inputs — the screen
+// classifies them instead of solving.
+func BuildPairScenarios(draws []la.Vector, pairs [][2]int) []Scenario {
+	out := make([]Scenario, 0, len(draws)*len(pairs))
+	for _, f := range draws {
+		for _, p := range pairs {
+			out = append(out, PairScenario(f, p[0], p[1]))
+		}
+	}
+	return out
+}
+
 // Summary aggregates screening outcomes.
 type Summary struct {
 	Total, Feasible, WarmConverged int
 	Projected                      int // warm starts accepted on a projected layout
+	Islanded                       int // scenarios classified as islanding, never solved
+	PolicyCold                     int // warm starts skipped by the dispatch policy
 	Errors                         int // scenarios whose solve/derivation errored
 	MeanIterations                 float64
 	WorstCost                      float64 // highest secure-dispatch cost
@@ -444,6 +680,12 @@ func Summarize(outs []Outcome) Summary {
 		}
 		if o.Projected {
 			s.Projected++
+		}
+		if o.Islanded {
+			s.Islanded++
+		}
+		if o.ColdByPolicy {
+			s.PolicyCold++
 		}
 		if o.Err != nil {
 			s.Errors++

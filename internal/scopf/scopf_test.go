@@ -143,7 +143,9 @@ func sameOutcomes(t *testing.T, got, want []Outcome) {
 	for i := range got {
 		g, w := got[i], want[i]
 		if g.Feasible != w.Feasible || g.Cost != w.Cost || g.Iterations != w.Iterations ||
-			g.WarmUsed != w.WarmUsed || g.Projected != w.Projected || (g.Err != nil) != (w.Err != nil) {
+			g.WarmUsed != w.WarmUsed || g.Projected != w.Projected ||
+			g.Islanded != w.Islanded || g.Binding != w.Binding ||
+			g.ColdByPolicy != w.ColdByPolicy || (g.Err != nil) != (w.Err != nil) {
 			t.Fatalf("outcome %d differs:\n got %+v\nwant %+v", i, g, w)
 		}
 	}

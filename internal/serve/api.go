@@ -117,6 +117,21 @@ type ScreenRequest struct {
 	// Contingencies lists branch indices to outage; nil means the full
 	// connected N-1 set. An empty list screens only the intact topology.
 	Contingencies []int `json:"contingencies,omitempty"`
+	// GenContingencies lists generator indices (into the system's
+	// generator table) to outage — the generator axis of the
+	// contingency space. Each must name an in-service unit.
+	GenContingencies []int `json:"gen_contingencies,omitempty"`
+	// AllGenOutages screens every in-service generator's outage (the
+	// full generator N-1 set); mutually exclusive with GenContingencies.
+	AllGenOutages bool `json:"all_gen_outages,omitempty"`
+	// Pairs lists explicit N-2 branch pairs to screen on top of the
+	// single-outage contingencies. Pairs that island the network are
+	// legal: the engine classifies them without solving.
+	Pairs [][2]int `json:"pairs,omitempty"`
+	// Policy supplies a trained warm/cold dispatch policy (weights and
+	// threshold as produced by scopf.TrainPolicy, e.g. from
+	// `scopf -policy -json`) applied per scenario during the sweep.
+	Policy *scopf.Policy `json:"policy,omitempty"`
 	// SkipIntact drops the no-outage scenario of each draw.
 	SkipIntact bool `json:"skip_intact,omitempty"`
 	// Cold forces cold-start screening even when a model is loaded.
@@ -127,22 +142,31 @@ type ScreenRequest struct {
 
 // ScreenClass reports one topology class of a screening run.
 type ScreenClass struct {
-	OutBranch int    `json:"out_branch"` // -1 = intact topology
-	Scenarios int    `json:"scenarios"`
-	NMu       int    `json:"nmu"`       // inequality rows of the class layout
-	WarmMode  string `json:"warm_mode"` // "exact", "projected" or "cold"
+	OutBranch  int    `json:"out_branch"`  // -1 = no branch outage
+	OutBranch2 int    `json:"out_branch2"` // second branch of an N-2 pair, -1 = none
+	OutGen     int    `json:"out_gen"`     // dropped generator, -1 = none
+	Kind       string `json:"kind"`        // "intact", "branch", "pair", "gen" or "branch+gen"
+	Scenarios  int    `json:"scenarios"`
+	NMu        int    `json:"nmu"`       // inequality rows of the class layout
+	WarmMode   string `json:"warm_mode"` // "exact", "projected" or "cold"
+	Islanded   bool   `json:"islanded,omitempty"`
 }
 
 // ScreenOutcome is one scenario's result in a ScreenResponse.
 type ScreenOutcome struct {
-	Draw       int     `json:"draw"`
-	OutBranch  int     `json:"out_branch"`
-	Feasible   bool    `json:"feasible"`
-	Cost       float64 `json:"cost"`
-	Iterations int     `json:"iterations"`
-	Warm       bool    `json:"warm"`
-	Projected  bool    `json:"projected"`
-	Err        string  `json:"err,omitempty"`
+	Draw         int     `json:"draw"`
+	OutBranch    int     `json:"out_branch"`
+	OutBranch2   int     `json:"out_branch2"` // -1 = none
+	OutGen       int     `json:"out_gen"`     // -1 = none
+	Feasible     bool    `json:"feasible"`
+	Cost         float64 `json:"cost"`
+	Iterations   int     `json:"iterations"`
+	Binding      int     `json:"binding"` // active inequality rows at the solution
+	Warm         bool    `json:"warm"`
+	Projected    bool    `json:"projected"`
+	Islanded     bool    `json:"islanded,omitempty"`
+	ColdByPolicy bool    `json:"cold_by_policy,omitempty"`
+	Err          string  `json:"err,omitempty"`
 }
 
 // ScreenResponse is the body of a successful POST /v1/screen.
@@ -153,6 +177,8 @@ type ScreenResponse struct {
 	Feasible        int             `json:"feasible"`
 	WarmConverged   int             `json:"warm_converged"`
 	Projected       int             `json:"projected"`
+	Islanded        int             `json:"islanded"`    // scenarios classified as islanding, never solved
+	PolicyCold      int             `json:"policy_cold"` // warm starts skipped by the dispatch policy
 	Errors          int             `json:"errors"`
 	MeanIterations  float64         `json:"mean_iterations"`
 	WorstCost       float64         `json:"worst_cost"`
@@ -247,7 +273,30 @@ func (s *Server) validateScreen(req *ScreenRequest) (*systemState, []scopf.Scena
 			return nil, nil, nil, fmt.Errorf("contingencies[%d] = %d outside the %d branches of %s", i, l, nbr, req.System)
 		}
 	}
-	perDraw := len(cons)
+	gens := req.GenContingencies
+	if req.AllGenOutages {
+		if len(gens) > 0 {
+			return nil, nil, nil, fmt.Errorf("fields %q and %q are mutually exclusive", "gen_contingencies", "all_gen_outages")
+		}
+		gens = scopf.GenContingencies(st.sys.Case)
+	}
+	ngen := len(st.sys.Case.Gens)
+	for i, g := range gens {
+		if g < 0 || g >= ngen {
+			return nil, nil, nil, fmt.Errorf("gen_contingencies[%d] = %d outside the %d generators of %s", i, g, ngen, req.System)
+		}
+		if !st.sys.Case.Gens[g].Status {
+			return nil, nil, nil, fmt.Errorf("gen_contingencies[%d]: generator %d of %s is out of service", i, g, req.System)
+		}
+	}
+	for i, p := range req.Pairs {
+		for _, l := range p {
+			if l < 0 || l >= nbr {
+				return nil, nil, nil, fmt.Errorf("pairs[%d] names branch %d outside the %d branches of %s", i, l, nbr, req.System)
+			}
+		}
+	}
+	perDraw := len(cons) + len(gens) + len(req.Pairs)
 	if !req.SkipIntact {
 		perDraw++
 	}
@@ -267,6 +316,14 @@ func (s *Server) validateScreen(req *ScreenRequest) (*systemState, []scopf.Scena
 		}
 		for _, l := range cons {
 			scenarios = append(scenarios, scopf.Scenario{Factors: f, OutBranch: l})
+			drawIdx = append(drawIdx, d)
+		}
+		for _, g := range gens {
+			scenarios = append(scenarios, scopf.GenScenario(f, g))
+			drawIdx = append(drawIdx, d)
+		}
+		for _, p := range req.Pairs {
+			scenarios = append(scenarios, scopf.PairScenario(f, p[0], p[1]))
 			drawIdx = append(drawIdx, d)
 		}
 	}

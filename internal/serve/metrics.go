@@ -100,14 +100,16 @@ type metrics struct {
 	// screened, feasible/warm/projected/error outcomes, and topology
 	// classes prepared (scenarios/classes is the prepare-reuse factor;
 	// warm/scenarios the screening warm-hit rate).
-	screens         map[string]int64
-	screenScenarios map[string]int64
-	screenFeasible  map[string]int64
-	screenWarm      map[string]int64
-	screenProjected map[string]int64
-	screenErrors    map[string]int64
-	screenClasses   map[string]int64
-	screenLatency   *histogram
+	screens          map[string]int64
+	screenScenarios  map[string]int64
+	screenFeasible   map[string]int64
+	screenWarm       map[string]int64
+	screenProjected  map[string]int64
+	screenIslanded   map[string]int64
+	screenPolicyCold map[string]int64
+	screenErrors     map[string]int64
+	screenClasses    map[string]int64
+	screenLatency    *histogram
 
 	latency map[string]*histogram // per path
 	batches *histogram
@@ -116,20 +118,22 @@ type metrics struct {
 
 func newMetrics() *metrics {
 	return &metrics{
-		requests:        make(map[string]int64),
-		solves:          make(map[string]int64),
-		iterations:      make(map[string]int64),
-		screens:         make(map[string]int64),
-		screenScenarios: make(map[string]int64),
-		screenFeasible:  make(map[string]int64),
-		screenWarm:      make(map[string]int64),
-		screenProjected: make(map[string]int64),
-		screenErrors:    make(map[string]int64),
-		screenClasses:   make(map[string]int64),
-		screenLatency:   newHistogram(screenLatencyBuckets),
-		latency:         make(map[string]*histogram),
-		batches:         newHistogram(batchBuckets),
-		started:         time.Now(),
+		requests:         make(map[string]int64),
+		solves:           make(map[string]int64),
+		iterations:       make(map[string]int64),
+		screens:          make(map[string]int64),
+		screenScenarios:  make(map[string]int64),
+		screenFeasible:   make(map[string]int64),
+		screenWarm:       make(map[string]int64),
+		screenProjected:  make(map[string]int64),
+		screenIslanded:   make(map[string]int64),
+		screenPolicyCold: make(map[string]int64),
+		screenErrors:     make(map[string]int64),
+		screenClasses:    make(map[string]int64),
+		screenLatency:    newHistogram(screenLatencyBuckets),
+		latency:          make(map[string]*histogram),
+		batches:          newHistogram(batchBuckets),
+		started:          time.Now(),
 	}
 }
 
@@ -142,6 +146,8 @@ func (m *metrics) recordScreen(system string, sum scopf.Summary, classes int, la
 	m.screenFeasible[system] += int64(sum.Feasible)
 	m.screenWarm[system] += int64(sum.WarmConverged)
 	m.screenProjected[system] += int64(sum.Projected)
+	m.screenIslanded[system] += int64(sum.Islanded)
+	m.screenPolicyCold[system] += int64(sum.PolicyCold)
 	m.screenErrors[system] += int64(sum.Errors)
 	m.screenClasses[system] += int64(classes)
 	m.screenLatency.observe(latency.Seconds())
@@ -259,6 +265,16 @@ func (m *metrics) render(w io.Writer, queueDepth int, kkt []kktStat) {
 	fmt.Fprintln(w, "# TYPE pgsimd_screen_projected_total counter")
 	for _, k := range sortedKeys(m.screenProjected) {
 		fmt.Fprintf(w, "pgsimd_screen_projected_total{system=%q} %d\n", k, m.screenProjected[k])
+	}
+	fmt.Fprintln(w, "# HELP pgsimd_screen_islanded_total Scenarios classified as islanding outages (no solver invoked).")
+	fmt.Fprintln(w, "# TYPE pgsimd_screen_islanded_total counter")
+	for _, k := range sortedKeys(m.screenIslanded) {
+		fmt.Fprintf(w, "pgsimd_screen_islanded_total{system=%q} %d\n", k, m.screenIslanded[k])
+	}
+	fmt.Fprintln(w, "# HELP pgsimd_screen_policy_cold_total Warm starts skipped by the dispatch policy.")
+	fmt.Fprintln(w, "# TYPE pgsimd_screen_policy_cold_total counter")
+	for _, k := range sortedKeys(m.screenPolicyCold) {
+		fmt.Fprintf(w, "pgsimd_screen_policy_cold_total{system=%q} %d\n", k, m.screenPolicyCold[k])
 	}
 	fmt.Fprintln(w, "# HELP pgsimd_screen_errors_total Scenarios whose solve or derivation errored.")
 	fmt.Fprintln(w, "# TYPE pgsimd_screen_errors_total counter")

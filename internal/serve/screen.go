@@ -55,6 +55,7 @@ func (s *Server) handleScreen(w http.ResponseWriter, r *http.Request) {
 		Prepared:   st.sys.OPF,
 		Predictors: preds,
 		Workers:    s.cfg.Workers,
+		Policy:     req.Policy,
 	}
 	t0 := time.Now()
 	rep := eng.Run(scenarios)
@@ -68,6 +69,8 @@ func (s *Server) handleScreen(w http.ResponseWriter, r *http.Request) {
 		Feasible:       sum.Feasible,
 		WarmConverged:  sum.WarmConverged,
 		Projected:      sum.Projected,
+		Islanded:       sum.Islanded,
+		PolicyCold:     sum.PolicyCold,
 		Errors:         sum.Errors,
 		MeanIterations: sum.MeanIterations,
 		WorstCost:      sum.WorstCost,
@@ -81,7 +84,9 @@ func (s *Server) handleScreen(w http.ResponseWriter, r *http.Request) {
 	}
 	for _, cl := range rep.Classes {
 		resp.ClassStats = append(resp.ClassStats, ScreenClass{
-			OutBranch: cl.OutBranch, Scenarios: cl.Scenarios, NMu: cl.NIq, WarmMode: cl.WarmMode,
+			OutBranch: cl.OutBranch, OutBranch2: cl.OutBranch2, OutGen: cl.OutGen,
+			Kind: cl.Kind, Scenarios: cl.Scenarios, NMu: cl.NIq,
+			WarmMode: cl.WarmMode, Islanded: cl.Islanded,
 		})
 	}
 	if req.Outcomes {
@@ -89,8 +94,10 @@ func (s *Server) handleScreen(w http.ResponseWriter, r *http.Request) {
 		for i, o := range rep.Outcomes {
 			so := ScreenOutcome{
 				Draw: drawIdx[i], OutBranch: o.Scenario.OutBranch,
+				OutBranch2: o.Scenario.SecondBranch(), OutGen: o.Scenario.OutagedGen(),
 				Feasible: o.Feasible, Cost: o.Cost, Iterations: o.Iterations,
-				Warm: o.WarmUsed, Projected: o.Projected,
+				Binding: o.Binding, Warm: o.WarmUsed, Projected: o.Projected,
+				Islanded: o.Islanded, ColdByPolicy: o.ColdByPolicy,
 			}
 			if o.Err != nil {
 				so.Err = o.Err.Error()

@@ -49,6 +49,9 @@ func TestScreenValidation(t *testing.T) {
 		{"bad spread", `{"system":"case9","n_draws":2,"spread":2}`, http.StatusBadRequest, "spread"},
 		{"spread without draws", `{"system":"case9","spread":0.2}`, http.StatusBadRequest, "n_draws"},
 		{"bad contingency", `{"system":"case9","contingencies":[99]}`, http.StatusBadRequest, "contingencies[0]"},
+		{"bad gen contingency", `{"system":"case9","gen_contingencies":[7]}`, http.StatusBadRequest, "gen_contingencies[0]"},
+		{"gen list and all gens", `{"system":"case9","gen_contingencies":[0],"all_gen_outages":true}`, http.StatusBadRequest, "mutually exclusive"},
+		{"bad pair", `{"system":"case9","pairs":[[1,99]]}`, http.StatusBadRequest, "pairs[0]"},
 		{"nothing to screen", `{"system":"case9","contingencies":[],"skip_intact":true}`, http.StatusBadRequest, "nothing to screen"},
 	}
 	for _, tc := range cases {
@@ -156,6 +159,66 @@ func TestScreenWarmProjection(t *testing.T) {
 	if warm.Feasible > 0 && warm.MeanIterations >= cold.MeanIterations {
 		t.Errorf("warm screening mean iterations %.1f not below cold %.1f",
 			warm.MeanIterations, cold.MeanIterations)
+	}
+}
+
+// The full contingency space is reachable over the API: generator
+// outages, explicit N-2 pairs (including islanding pairs, classified
+// without solving) and a client-supplied dispatch policy, all reported
+// through the extended class/outcome/summary fields and bit-identical
+// to the engine run directly.
+func TestScreenFullContingencySpace(t *testing.T) {
+	sys, m := loadFixture(t)
+	s := newTestServer(t, Config{Workers: 2}, sys, m)
+	h := s.Handler()
+
+	// case9 is a 6-branch ring plus bridges, so every branch pair
+	// islands the grid — both pairs exercise the classification path.
+	body := `{"system":"case9","n_draws":2,"seed":4,"contingencies":[1,2],` +
+		`"all_gen_outages":true,"pairs":[[1,2],[1,4]],"outcomes":true}`
+	code, raw := postScreen(t, h, body)
+	if code != http.StatusOK {
+		t.Fatalf("status = %d (%s)", code, raw)
+	}
+	resp := decodeScreen(t, raw)
+	// 2 draws × (intact + 2 branches + 3 gens + 2 pairs) = 16.
+	if resp.Scenarios != 16 {
+		t.Fatalf("scenarios = %d, want 16", resp.Scenarios)
+	}
+	if resp.Islanded != 4 {
+		t.Fatalf("islanded = %d, want 4 (2 pairs × 2 draws)", resp.Islanded)
+	}
+	kinds := map[string]int{}
+	for _, cl := range resp.ClassStats {
+		kinds[cl.Kind]++
+		if cl.Kind == "pair" && cl.OutBranch == 1 && cl.OutBranch2 == 2 && !cl.Islanded {
+			t.Fatalf("islanding pair class not flagged: %+v", cl)
+		}
+	}
+	if kinds["intact"] != 1 || kinds["branch"] != 2 || kinds["gen"] != 3 || kinds["pair"] != 2 {
+		t.Fatalf("class kinds %+v", kinds)
+	}
+	for _, o := range resp.Outcomes {
+		if o.OutBranch == 1 && o.OutBranch2 == 2 {
+			if !o.Islanded || o.Iterations != 0 || o.Feasible {
+				t.Fatalf("islanding pair outcome %+v", o)
+			}
+		}
+		if o.OutGen >= 0 && o.Err == "" && !o.Feasible && !o.Islanded {
+			t.Logf("gen outage infeasible: %+v", o) // legal, just informative
+		}
+	}
+
+	// A maximally conservative policy (threshold above any sigmoid
+	// score) must push every warm-startable scenario to cold and report
+	// the count.
+	code, raw = postScreen(t, h, `{"system":"case9","n_draws":2,"seed":4,"policy":{"weights":[0,0,0,0,0,0],"threshold":2}}`)
+	if code != http.StatusOK {
+		t.Fatalf("policy status = %d (%s)", code, raw)
+	}
+	pol := decodeScreen(t, raw)
+	if pol.WarmConverged != 0 || pol.PolicyCold != pol.Scenarios {
+		t.Fatalf("conservative policy did not cold-dispatch everything: %+v", pol)
 	}
 }
 
