@@ -12,18 +12,23 @@ import (
 	"encoding/json"
 	"fmt"
 	"math/rand"
+	"net/http"
+	"net/http/httptest"
 	"os"
+	"strings"
 	"sync"
 	"testing"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/horizon"
 	"repro/internal/la"
 	"repro/internal/mtl"
 	"repro/internal/opf"
 	"repro/internal/scale"
 	"repro/internal/scopf"
+	"repro/internal/serve"
 	"repro/internal/sparse"
 )
 
@@ -1144,4 +1149,207 @@ func writeKKTBenchReport(b *testing.B) {
 		fmt.Printf("BENCH_kkt.json: refactor %.1fx faster than analyze, cold MIPS solve %.2fx faster with reuse\n",
 			analyzeNs/refactorNs, noReuseNs/reuseNs)
 	})
+}
+
+// ---------------------------------------------------------------------------
+// Multi-period trajectory benchmarks (BENCH_trajectory.json). The study:
+// on each system, the same synthetic load trajectory is solved cold,
+// with warm-start chaining (each step starts from the previous step's
+// full primal/dual solution) and with per-step model prediction. The
+// report records both speedups over cold and the per-system winner —
+// the chain-vs-predict crossover — plus a served-replay pin: the same
+// trajectory streamed through POST /v1/trajectory must be bit-identical
+// to the offline runner, enforced with b.Fatal.
+
+// trajBenchProfile holds the bench-profile sizes per system: offline
+// training sizes for the predict mode (paper-bench scale) and the
+// trajectory itself.
+var trajBenchProfile = map[string]struct{ draws, epochs int }{
+	"case14":  {80, 200},
+	"case57":  {48, 150},
+	"case118": {24, 100},
+}
+
+const (
+	trajBenchSteps  = 8
+	trajBenchSeed   = 21
+	trajBenchAmp    = 0.03
+	trajBenchSpread = 0.01
+	trajBenchFrac   = 0.2
+)
+
+var trajectoryReportOnce sync.Once
+
+// BenchmarkTrajectory times one chain-mode trajectory on case14; the
+// first invocation writes BENCH_trajectory.json (the crossover study
+// over case14/case57/case118 plus the served-replay pin).
+func BenchmarkTrajectory(b *testing.B) {
+	writeTrajectoryBenchReport(b)
+	sys := core.MustLoadSystem("case14")
+	traj, err := horizon.Synthetic(sys.Case.NB(), trajBenchSteps, trajBenchSeed, trajBenchAmp, trajBenchSpread)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ramp := horizon.RampFromRange(sys.OPF, trajBenchFrac)
+	r := &horizon.Runner{Prepared: sys.OPF, Mode: horizon.ModeChain, RampUp: ramp, RampDown: ramp, Workers: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := r.Run(traj)
+		if err != nil || res.Converged == 0 {
+			b.Fatalf("trajectory failed: %v", err)
+		}
+	}
+}
+
+// runTrajMode solves the bench trajectory on sys in one mode and
+// returns the result (Workers=1: per-step costs, not throughput).
+func runTrajMode(b *testing.B, sys *core.System, mode horizon.Mode, m *mtl.Model, traj *horizon.Trajectory) *horizon.Result {
+	b.Helper()
+	ramp := horizon.RampFromRange(sys.OPF, trajBenchFrac)
+	r := &horizon.Runner{Prepared: sys.OPF, Mode: mode, Model: m, RampUp: ramp, RampDown: ramp, Workers: 1}
+	res, err := r.Run(traj)
+	if err != nil {
+		b.Fatalf("%s %s trajectory: %v", sys.Name, mode, err)
+	}
+	return res
+}
+
+// writeTrajectoryBenchReport measures the chain-vs-predict crossover on
+// case14/case57/case118 and writes BENCH_trajectory.json. Before any
+// timing, the case14 chain trajectory is replayed through the streaming
+// endpoint and pinned bit-identical to the offline runner.
+func writeTrajectoryBenchReport(b *testing.B) {
+	b.Helper()
+	trajectoryReportOnce.Do(func() {
+		systems := map[string]map[string]any{}
+		var replay map[string]any
+		for _, name := range []string{"case14", "case57", "case118"} {
+			prof := trajBenchProfile[name]
+			sys := core.MustLoadSystem(name)
+			set, err := sys.GenerateData(prof.draws, 42+int64(sys.Case.NB()))
+			if err != nil {
+				b.Fatal(err)
+			}
+			train, _ := set.Split(0.75)
+			model, err := sys.TrainModel(mtl.VariantSmartPGSim, train, prof.epochs, 17, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			traj, err := horizon.Synthetic(sys.Case.NB(), trajBenchSteps, trajBenchSeed, trajBenchAmp, trajBenchSpread)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if name == "case14" {
+				replay = pinServedReplay(b, sys, traj)
+			}
+
+			// One untimed warm-up per mode, then alternate the timed
+			// repetitions so allocator drift cannot bias the ratios.
+			modes := []horizon.Mode{horizon.ModeCold, horizon.ModeChain, horizon.ModePredict}
+			results := make([]*horizon.Result, len(modes))
+			ns := make([]float64, len(modes))
+			for i, mode := range modes {
+				results[i] = runTrajMode(b, sys, mode, model, traj)
+			}
+			const reps = 2
+			for rep := 0; rep < reps; rep++ {
+				for i, mode := range modes {
+					t0 := time.Now()
+					runTrajMode(b, sys, mode, model, traj)
+					ns[i] += float64(time.Since(t0).Nanoseconds())
+				}
+			}
+			coldNs, chainNs, predictNs := ns[0]/reps, ns[1]/reps, ns[2]/reps
+			cold, chain, predict := results[0], results[1], results[2]
+			if cold.Converged == 0 {
+				b.Fatalf("%s: cold trajectory did not converge at all", name)
+			}
+			winner := "chain"
+			if predictNs < chainNs {
+				winner = "predict"
+			}
+			systems[name] = map[string]any{
+				"buses": sys.Case.NB(), "draws": prof.draws, "epochs": prof.epochs,
+				"cold_ms_per_step":        coldNs / 1e6 / trajBenchSteps,
+				"chain_ms_per_step":       chainNs / 1e6 / trajBenchSteps,
+				"predict_ms_per_step":     predictNs / 1e6 / trajBenchSteps,
+				"chain_speedup_vs_cold":   coldNs / chainNs,
+				"predict_speedup_vs_cold": coldNs / predictNs,
+				"winner":                  winner,
+				"cold_iterations":         cold.Iterations,
+				"chain_iterations":        chain.Iterations,
+				"predict_iterations":      predict.Iterations,
+				"chain_warm_hits":         chain.WarmHits,
+				"predict_warm_hits":       predict.WarmHits,
+				"converged":               cold.Converged,
+			}
+			fmt.Printf("BENCH_trajectory.json: %s chain %.2fx, predict %.2fx vs cold (winner %s, %d/%d warm-chained)\n",
+				name, coldNs/chainNs, coldNs/predictNs, winner, chain.WarmHits, trajBenchSteps)
+		}
+		report := map[string]any{
+			"benchmark": "trajectory",
+			"produced_by": "go test -run '^$' -bench BenchmarkTrajectory -benchtime 1x . " +
+				"(chain-vs-predict crossover; see EXPERIMENTS.md §Trajectory crossover)",
+			"steps": trajBenchSteps, "seed": trajBenchSeed,
+			"amp": trajBenchAmp, "spread": trajBenchSpread, "ramp_frac": trajBenchFrac,
+			"replay":  replay,
+			"systems": systems,
+		}
+		buf, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := os.WriteFile("BENCH_trajectory.json", append(buf, '\n'), 0o644); err != nil {
+			b.Fatal(err)
+		}
+	})
+}
+
+// pinServedReplay streams the bench trajectory through POST
+// /v1/trajectory (chain mode, no model) and fails the benchmark unless
+// every step is bit-identical — flags, iterations, cost and dispatch —
+// to the offline runner on the same prepared system.
+func pinServedReplay(b *testing.B, sys *core.System, traj *horizon.Trajectory) map[string]any {
+	b.Helper()
+	ramp := horizon.RampFromRange(sys.OPF, trajBenchFrac)
+	r := &horizon.Runner{Prepared: sys.OPF, Mode: horizon.ModeChain, RampUp: ramp, RampDown: ramp, Workers: 1}
+	ref, err := r.Run(traj)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	srv := serve.New(serve.Config{})
+	defer srv.Close()
+	srv.AddSystem(sys, nil)
+	body := fmt.Sprintf(`{"system":%q,"steps":%d,"mode":"chain","seed":%d,"amp":%v,"spread":%v,"ramp_frac":%v}`,
+		sys.Name, trajBenchSteps, trajBenchSeed, trajBenchAmp, trajBenchSpread, trajBenchFrac)
+	req := httptest.NewRequest(http.MethodPost, "/v1/trajectory", strings.NewReader(body))
+	rec := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		b.Fatalf("served replay: status %d (%s)", rec.Code, rec.Body.String())
+	}
+	lines := strings.Split(strings.TrimRight(rec.Body.String(), "\n"), "\n")
+	if len(lines) != trajBenchSteps+1 {
+		b.Fatalf("served replay: %d lines, want %d steps + summary", len(lines), trajBenchSteps)
+	}
+	for i, sr := range ref.Steps {
+		var ln serve.TrajectoryStep
+		if err := json.Unmarshal([]byte(lines[i]), &ln); err != nil {
+			b.Fatalf("served replay line %d: %v", i, err)
+		}
+		if ln.Step != i || ln.Converged != sr.Converged || ln.Warm != sr.WarmUsed ||
+			ln.Iterations != sr.Iterations || ln.Cost != sr.Cost {
+			b.Fatalf("served replay diverges at step %d: %+v vs offline %+v", i, ln, sr)
+		}
+		for g := range ln.Pg {
+			if ln.Pg[g] != sr.Result.Pg[g] {
+				b.Fatalf("served replay step %d gen %d: Pg %v != offline %v", i, g, ln.Pg[g], sr.Result.Pg[g])
+			}
+		}
+	}
+	return map[string]any{
+		"system": sys.Name, "steps": trajBenchSteps,
+		"served_bit_identical": true,
+	}
 }

@@ -45,6 +45,33 @@ type systemRow struct {
 	KKTOrdering      string         `json:"kkt_ordering"`
 }
 
+type trajSystemRow struct {
+	Buses                int     `json:"buses"`
+	Draws                int     `json:"draws"`
+	Epochs               int     `json:"epochs"`
+	ColdMsPerStep        float64 `json:"cold_ms_per_step"`
+	ChainMsPerStep       float64 `json:"chain_ms_per_step"`
+	PredictMsPerStep     float64 `json:"predict_ms_per_step"`
+	ChainSpeedupVsCold   float64 `json:"chain_speedup_vs_cold"`
+	PredictSpeedupVsCold float64 `json:"predict_speedup_vs_cold"`
+	Winner               string  `json:"winner"`
+	ChainWarmHits        int     `json:"chain_warm_hits"`
+	PredictWarmHits      int     `json:"predict_warm_hits"`
+	Converged            int     `json:"converged"`
+}
+
+type trajReport struct {
+	Benchmark string  `json:"benchmark"`
+	Steps     int     `json:"steps"`
+	RampFrac  float64 `json:"ramp_frac"`
+	Replay    struct {
+		System             string `json:"system"`
+		Steps              int    `json:"steps"`
+		ServedBitIdentical bool   `json:"served_bit_identical"`
+	} `json:"replay"`
+	Systems map[string]trajSystemRow `json:"systems"`
+}
+
 type report struct {
 	Benchmark  string `json:"benchmark"`
 	ProducedBy string `json:"produced_by"`
@@ -60,6 +87,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("results: ")
 	in := flag.String("in", "BENCH_paper.json", "benchmark report to render")
+	traj := flag.String("trajectory", "BENCH_trajectory.json", "trajectory benchmark report to append (section skipped when the file is absent)")
 	out := flag.String("out", "RESULTS.md", "markdown file to write")
 	flag.Parse()
 
@@ -159,9 +187,56 @@ func main() {
 	}
 	w("")
 
+	if tbuf, err := os.ReadFile(*traj); err == nil {
+		renderTrajectory(w, *traj, tbuf)
+	}
+
 	if err := os.WriteFile(*out, []byte(b.String()), 0o644); err != nil {
 		log.Fatal(err)
 	}
 	log.Printf("wrote %s (%d systems, avg speedup %.2fx vs paper %.2fx)",
 		*out, len(names), r.MeasuredAvgSpeedup, r.PaperClaim.AvgSpeedup)
+}
+
+// renderTrajectory appends the multi-period crossover section from
+// BENCH_trajectory.json (written by BenchmarkTrajectory).
+func renderTrajectory(w func(string, ...any), path string, buf []byte) {
+	var t trajReport
+	if err := json.Unmarshal(buf, &t); err != nil {
+		log.Fatalf("parsing %s: %v", path, err)
+	}
+	if len(t.Systems) == 0 {
+		log.Fatalf("%s has no system rows", path)
+	}
+	names := make([]string, 0, len(t.Systems))
+	for n := range t.Systems {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(i, j int) bool { return t.Systems[names[i]].Buses < t.Systems[names[j]].Buses })
+
+	w("## Multi-period trajectories: chain vs predict crossover")
+	w("")
+	w("One %d-step synthetic load trajectory per system (ramp limits at", t.Steps)
+	w("%.0f %% of each unit's dispatch range per step), solved cold, with", 100*t.RampFrac)
+	w("warm-start chaining (each step starts from the previous step's full")
+	w("primal/dual solution) and with per-step model prediction — the")
+	w("multi-period extension of the paper's warm-start idea. Rendered from")
+	w("`%s` (benchmark %q); regenerate with the BenchmarkTrajectory", path, t.Benchmark)
+	w("recipe in EXPERIMENTS.md.")
+	w("")
+	w("| system | buses | cold ms/step | chain ms/step | predict ms/step | chain speedup | predict speedup | winner | chained warm hits |")
+	w("|---|---|---|---|---|---|---|---|---|")
+	for _, n := range names {
+		s := t.Systems[n]
+		w("| %s | %d | %.1f | %.1f | %.1f | **%.2f×** | %.2f× | %s | %d/%d |",
+			n, s.Buses, s.ColdMsPerStep, s.ChainMsPerStep, s.PredictMsPerStep,
+			s.ChainSpeedupVsCold, s.PredictSpeedupVsCold, s.Winner, s.ChainWarmHits, t.Steps)
+	}
+	w("")
+	if t.Replay.ServedBitIdentical {
+		w("The served stream is pinned: the same %s trajectory replayed", t.Replay.System)
+		w("through `POST /v1/trajectory` is bit-identical to the offline runner")
+		w("(every step's convergence flags, iteration count, cost and dispatch).")
+		w("")
+	}
 }

@@ -12,18 +12,22 @@
 // (internal/core), the scaling study (internal/scale), the parallel
 // batch-execution engine that fans every sweep out across the host's
 // cores (internal/batch), the warm-start OPF serving subsystem
-// (internal/serve), and the topology-aware N-1 contingency-screening
-// engine (internal/scopf).
+// (internal/serve), the topology-aware N-1 contingency-screening
+// engine (internal/scopf), and the multi-period trajectory runner with
+// warm-start chaining and ramp coupling (internal/horizon).
 //
 // Executables are under cmd/: pgsim (one-shot AC-OPF solves and load
 // sweeps), traingen and train (the offline phase as artifacts),
 // smartpgsim (the full pipeline and paper figures), sensitivity and
 // scaling (Table I and Figure 9), scopf (N-1 contingency screening on
-// the topology-aware engine), results (renders BENCH_paper.json — the
-// per-system warm-start speedups of the embedded IEEE fleet, up to
-// case300 — into the RESULTS.md paper comparison), and pgsimd — the
+// the topology-aware engine), horizon (multi-period OPF trajectories
+// with chain/predict/cold warm-start modes), results (renders
+// BENCH_paper.json — the per-system warm-start speedups of the embedded
+// IEEE fleet, up to case300 — and the BENCH_trajectory.json crossover
+// study into the RESULTS.md paper comparison), and pgsimd — the
 // long-running warm-start OPF serving daemon with an HTTP/JSON API
-// (README.md documents the endpoints). Runnable examples live under
+// including the streaming /v1/trajectory endpoint (README.md documents
+// the endpoints). Runnable examples live under
 // examples/, and bench_test.go in this directory regenerates every
 // table and figure of the paper — see DESIGN.md and EXPERIMENTS.md.
 package smartpgsim

@@ -1,0 +1,196 @@
+package opf
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/la"
+	"repro/internal/sparse"
+)
+
+// RebindRamp derives a prepared OPF whose real-dispatch bounds are
+// tightened by per-generator ramp limits anchored at a previous-step
+// dispatch: generator g may move at most up[g] above and down[g] below
+// prevPg[g] (all in pu of BaseMVA) within the static [Pmin, Pmax] box.
+// This is the multi-period coupling of internal/horizon — step t's
+// instance is the step-t load perturbation with RebindRamp(step t−1's
+// dispatch) applied.
+//
+// Ramp limits are pure bound tightening, so the derived instance shares
+// everything structural with o: admittance matrices, rated-branch
+// subset, layout offsets, and — when no previously-infinite Pg bound
+// becomes finite — o's KKT ordering cache itself, because the KKT
+// pattern depends only on which bounds are finite, not on their values.
+// A ramp limit that turns an infinite bound finite grows NIq (the new
+// bound becomes an inequality row in MIPS's FullInequality order) and
+// the derived instance then gets a fresh cache with o's configured
+// ordering, exactly like RebindOutage/RebindGenOutage. Finiteness is
+// monotone under tightening — min(finite, ·) stays finite — so NIq
+// never shrinks and NIq unchanged ⇔ identical bound pattern.
+//
+// The anchor is clamped into the static box first, so the tightened
+// window is never empty even for an anchor from a non-converged step;
+// up[g] or down[g] may be +Inf (direction unconstrained) and either
+// vector may be nil (that direction unconstrained for every unit).
+// Negative or NaN entries are rejected. A zero limit freezes the unit
+// at its anchor (equal bounds — both rows finite).
+func (o *OPF) RebindRamp(prevPg, up, down la.Vector) (*OPF, error) {
+	t0 := time.Now()
+	lay := o.Lay
+	if len(prevPg) != lay.NG {
+		return nil, fmt.Errorf("opf: ramp anchor has %d entries, %s has %d in-service generators", len(prevPg), o.Case.Name, lay.NG)
+	}
+	if err := checkRampLimits("up", up, lay.NG); err != nil {
+		return nil, err
+	}
+	if err := checkRampLimits("down", down, lay.NG); err != nil {
+		return nil, err
+	}
+	xmin := o.xmin.Clone()
+	xmax := o.xmax.Clone()
+	for g := 0; g < lay.NG; g++ {
+		lo, hi := o.xmin[lay.PgOff+g], o.xmax[lay.PgOff+g]
+		anchor := prevPg[g]
+		if math.IsNaN(anchor) {
+			return nil, fmt.Errorf("opf: ramp anchor prevPg[%d] is NaN", g)
+		}
+		if anchor < lo {
+			anchor = lo
+		}
+		if anchor > hi {
+			anchor = hi
+		}
+		if down != nil && !math.IsInf(down[g], 1) {
+			if l := anchor - down[g]; l > lo {
+				xmin[lay.PgOff+g] = l
+			}
+		}
+		if up != nil && !math.IsInf(up[g], 1) {
+			if h := anchor + up[g]; h < hi {
+				xmax[lay.PgOff+g] = h
+			}
+		}
+	}
+	cp := *o
+	cp.xmin = xmin
+	cp.xmax = xmax
+	nFinite := 0
+	for i := range xmin {
+		if !math.IsInf(xmin[i], -1) {
+			nFinite++
+		}
+		if !math.IsInf(xmax[i], 1) {
+			nFinite++
+		}
+	}
+	cp.Lay.NIq = 2*lay.NLRated + nFinite
+	if cp.Lay.NIq != lay.NIq {
+		// A previously-infinite Pg bound became finite: the KKT pattern
+		// gained rows, so the ordering analysis cannot be shared.
+		cp.kkt = sparse.NewOrderingCache(o.kkt.Ordering())
+	}
+	cp.prep = time.Since(t0)
+	return &cp, nil
+}
+
+func checkRampLimits(name string, v la.Vector, ng int) error {
+	if v == nil {
+		return nil
+	}
+	if len(v) != ng {
+		return fmt.Errorf("opf: ramp %s limits have %d entries, want %d", name, len(v), ng)
+	}
+	for g, r := range v {
+		if math.IsNaN(r) || r < 0 || math.IsInf(r, -1) {
+			return fmt.Errorf("opf: ramp %s limit [%d] = %v, want >= 0", name, g, r)
+		}
+	}
+	return nil
+}
+
+// ProjectStartStep maps a warm start expressed in o's layout (typically
+// step t−1's solved instance, whose own ramp rows are baked into its
+// NIq) onto the layout of to, a step-t instance derived from the same
+// base grid. The variable packing and equality rows are untouched by
+// ramp tightening, so X and λ transfer as-is (MIPS clips X into to's
+// bounds itself); the µ and Z vectors are remapped row-by-row over the
+// FullInequality order — flow rows positionally, bound rows by matching
+// the finite-bound patterns of the two layouts. Rows finite in both
+// copy their multiplier and slack; rows newly finite in to are seeded
+// with the MIPS cold defaults (µ = z = 1); rows finite only in o are
+// dropped. The result always has exactly to.Lay.NIq rows — the length
+// MIPS requires of a warm start.
+//
+// It returns nil (a cold start) when the two instances do not share the
+// step-compatible shape: equal NX, NEq and NLRated. Malformed µ/Z in st
+// are dropped rather than remapped, degrading to an X/λ-only start.
+func (o *OPF) ProjectStartStep(st *Start, to *OPF) *Start {
+	if st == nil || to == nil {
+		return nil
+	}
+	if to.Lay.NX != o.Lay.NX || to.Lay.NEq != o.Lay.NEq || to.Lay.NLRated != o.Lay.NLRated {
+		return nil
+	}
+	out := &Start{}
+	if len(st.X) == o.Lay.NX {
+		out.X = st.X
+	}
+	if len(st.Lam) == o.Lay.NEq {
+		out.Lam = st.Lam
+	}
+	if len(st.Mu) != o.Lay.NIq || len(st.Z) != o.Lay.NIq {
+		return out
+	}
+	if to.Lay.NIq == o.Lay.NIq && sameBoundPattern(o, to) {
+		out.Mu, out.Z = st.Mu, st.Z
+		return out
+	}
+	// The MIPS seed for a fresh inequality row: mips.Solve floors warm µ
+	// and z at 1e-10 and recomputes the barrier from z·µ, so the cold
+	// defaults blend safely with the carried rows.
+	const seed = 1.0
+	nlr := 2 * o.Lay.NLRated
+	mu := make(la.Vector, 0, to.Lay.NIq)
+	z := make(la.Vector, 0, to.Lay.NIq)
+	mu = append(mu, st.Mu[:nlr]...)
+	z = append(z, st.Z[:nlr]...)
+	srcRow := nlr
+	remap := func(srcB, dstB la.Vector, sign int) {
+		for i := range dstB {
+			srcFinite := !math.IsInf(srcB[i], sign)
+			dstFinite := !math.IsInf(dstB[i], sign)
+			if dstFinite {
+				if srcFinite {
+					mu = append(mu, st.Mu[srcRow])
+					z = append(z, st.Z[srcRow])
+				} else {
+					mu = append(mu, seed)
+					z = append(z, seed)
+				}
+			}
+			if srcFinite {
+				srcRow++
+			}
+		}
+	}
+	remap(o.xmax, to.xmax, 1)  // finite upper bounds first,
+	remap(o.xmin, to.xmin, -1) // then finite lower bounds.
+	out.Mu, out.Z = mu, z
+	return out
+}
+
+// sameBoundPattern reports whether two same-shape instances have
+// identical bound-finiteness patterns (and hence identical inequality
+// layouts and KKT patterns).
+func sameBoundPattern(a, b *OPF) bool {
+	for i := range a.xmin {
+		if math.IsInf(a.xmin[i], -1) != math.IsInf(b.xmin[i], -1) {
+			return false
+		}
+		if math.IsInf(a.xmax[i], 1) != math.IsInf(b.xmax[i], 1) {
+			return false
+		}
+	}
+	return true
+}

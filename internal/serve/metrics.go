@@ -111,6 +111,15 @@ type metrics struct {
 	screenClasses    map[string]int64
 	screenLatency    *histogram
 
+	// Trajectory counters: streams completed per system|mode, steps and
+	// warm-accepted steps per system|mode, mid-stream client disconnects
+	// per system, and the per-step latency histogram.
+	trajectories          map[string]int64 // "system|mode"
+	trajectorySteps       map[string]int64 // "system|mode"
+	trajectoryWarm        map[string]int64 // "system|mode"
+	trajectoryDisconnects map[string]int64 // system
+	trajectoryStepLatency *histogram
+
 	latency map[string]*histogram // per path
 	batches *histogram
 	started time.Time
@@ -131,9 +140,16 @@ func newMetrics() *metrics {
 		screenErrors:     make(map[string]int64),
 		screenClasses:    make(map[string]int64),
 		screenLatency:    newHistogram(screenLatencyBuckets),
-		latency:          make(map[string]*histogram),
-		batches:          newHistogram(batchBuckets),
-		started:          time.Now(),
+
+		trajectories:          make(map[string]int64),
+		trajectorySteps:       make(map[string]int64),
+		trajectoryWarm:        make(map[string]int64),
+		trajectoryDisconnects: make(map[string]int64),
+		trajectoryStepLatency: newHistogram(latencyBuckets),
+
+		latency: make(map[string]*histogram),
+		batches: newHistogram(batchBuckets),
+		started: time.Now(),
 	}
 }
 
@@ -151,6 +167,34 @@ func (m *metrics) recordScreen(system string, sum scopf.Summary, classes int, la
 	m.screenErrors[system] += int64(sum.Errors)
 	m.screenClasses[system] += int64(classes)
 	m.screenLatency.observe(latency.Seconds())
+}
+
+// recordTrajectoryStep folds one streamed trajectory step into the
+// counters as it is emitted.
+func (m *metrics) recordTrajectoryStep(system, mode string, warm bool, latency time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	key := system + "|" + mode
+	m.trajectorySteps[key]++
+	if warm {
+		m.trajectoryWarm[key]++
+	}
+	m.trajectoryStepLatency.observe(latency.Seconds())
+}
+
+// recordTrajectoryDone marks one stream completed through its summary.
+func (m *metrics) recordTrajectoryDone(system, mode string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.trajectories[system+"|"+mode]++
+}
+
+// recordTrajectoryDisconnect counts a stream aborted by the client
+// before the summary line (the pinned replica was released).
+func (m *metrics) recordTrajectoryDisconnect(system string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.trajectoryDisconnects[system]++
 }
 
 func (m *metrics) recordRequest(endpoint string, code int) {
@@ -289,6 +333,33 @@ func (m *metrics) render(w io.Writer, queueDepth int, kkt []kktStat) {
 	fmt.Fprintln(w, "# HELP pgsimd_screen_latency_seconds End-to-end latency of screening sweeps.")
 	fmt.Fprintln(w, "# TYPE pgsimd_screen_latency_seconds histogram")
 	m.screenLatency.render(w, "pgsimd_screen_latency_seconds", "")
+
+	fmt.Fprintln(w, "# HELP pgsimd_trajectory_streams_total Completed /v1/trajectory streams by system and warm-start mode.")
+	fmt.Fprintln(w, "# TYPE pgsimd_trajectory_streams_total counter")
+	for _, k := range sortedKeys(m.trajectories) {
+		sys, mode, _ := strings.Cut(k, "|")
+		fmt.Fprintf(w, "pgsimd_trajectory_streams_total{system=%q,mode=%q} %d\n", sys, mode, m.trajectories[k])
+	}
+	fmt.Fprintln(w, "# HELP pgsimd_trajectory_steps_total Trajectory steps streamed by system and warm-start mode.")
+	fmt.Fprintln(w, "# TYPE pgsimd_trajectory_steps_total counter")
+	for _, k := range sortedKeys(m.trajectorySteps) {
+		sys, mode, _ := strings.Cut(k, "|")
+		fmt.Fprintf(w, "pgsimd_trajectory_steps_total{system=%q,mode=%q} %d\n", sys, mode, m.trajectorySteps[k])
+	}
+	fmt.Fprintln(w, "# HELP pgsimd_trajectory_warm_steps_total Trajectory steps accepted on their chained or predicted start.")
+	fmt.Fprintln(w, "# TYPE pgsimd_trajectory_warm_steps_total counter")
+	for _, k := range sortedKeys(m.trajectoryWarm) {
+		sys, mode, _ := strings.Cut(k, "|")
+		fmt.Fprintf(w, "pgsimd_trajectory_warm_steps_total{system=%q,mode=%q} %d\n", sys, mode, m.trajectoryWarm[k])
+	}
+	fmt.Fprintln(w, "# HELP pgsimd_trajectory_disconnects_total Streams aborted mid-trajectory by the client (pinned replica released).")
+	fmt.Fprintln(w, "# TYPE pgsimd_trajectory_disconnects_total counter")
+	for _, k := range sortedKeys(m.trajectoryDisconnects) {
+		fmt.Fprintf(w, "pgsimd_trajectory_disconnects_total{system=%q} %d\n", k, m.trajectoryDisconnects[k])
+	}
+	fmt.Fprintln(w, "# HELP pgsimd_trajectory_step_latency_seconds Per-step wall-clock latency of streamed trajectory steps.")
+	fmt.Fprintln(w, "# TYPE pgsimd_trajectory_step_latency_seconds histogram")
+	m.trajectoryStepLatency.render(w, "pgsimd_trajectory_step_latency_seconds", "")
 
 	fmt.Fprintln(w, "# HELP pgsimd_kkt_symbolic_analyses_total Full KKT factorizations (ordering + pattern analysis + pivoting) per grid.")
 	fmt.Fprintln(w, "# TYPE pgsimd_kkt_symbolic_analyses_total counter")

@@ -23,14 +23,18 @@
 //
 // Endpoints:
 //
-//	POST /v1/solve    solve one load instance (SolveRequest → SolveResponse)
-//	POST /v1/screen   N-1 contingency screening sweep (ScreenRequest →
-//	                  ScreenResponse) on the topology-aware scopf.Engine
-//	GET  /v1/systems  loaded systems, sizes, model availability
-//	GET  /healthz     liveness + uptime
-//	GET  /metrics     Prometheus text: request/solve counters, warm-start
-//	                  hit rate, latency and batch-size histograms, and the
-//	                  pgsimd_screen_* screening counters
+//	POST /v1/solve       solve one load instance (SolveRequest → SolveResponse)
+//	POST /v1/screen      N-1 contingency screening sweep (ScreenRequest →
+//	                     ScreenResponse) on the topology-aware scopf.Engine
+//	POST /v1/trajectory  multi-period OPF trajectory streamed as NDJSON —
+//	                     one TrajectoryStep line per step as it completes,
+//	                     then a TrajectorySummary — on the internal/horizon
+//	                     stepper (chain/predict/cold warm-start modes)
+//	GET  /v1/systems     loaded systems, sizes, model availability
+//	GET  /healthz        liveness + uptime
+//	GET  /metrics        Prometheus text: request/solve counters, warm-start
+//	                     hit rate, latency and batch-size histograms, and
+//	                     the pgsimd_screen_* / pgsimd_trajectory_* counters
 //
 // Screening runs outside the micro-batch queue — a sweep is itself a
 // batch, fanned out on the worker pool by the engine — and is serialized:
@@ -38,6 +42,13 @@
 // screen borrows the system's idle model replicas and returns them when
 // the sweep completes; solve requests arriving meanwhile fall back to
 // waiting for a free replica.
+//
+// Trajectories are the daemon's stateful workload: chained state (step
+// t−1's solution) and the at-most-one pinned model replica stay on the
+// handler's goroutine for the stream's whole life — per-trajectory
+// worker affinity. Concurrent trajectories are bounded by the replica
+// count; a client disconnect between steps aborts the run and frees the
+// pinned replica immediately.
 //
 // Backpressure is explicit: at most Config.QueueDepth requests wait for
 // the dispatcher; beyond that the server sheds load with 503 rather than
@@ -116,6 +127,7 @@ type Server struct {
 	met       *metrics
 	started   time.Time
 	screenSem chan struct{} // serializes /v1/screen sweeps
+	trajSem   chan struct{} // bounds concurrent /v1/trajectory streams
 }
 
 // New builds a server and starts its micro-batch dispatcher.
@@ -131,8 +143,10 @@ func New(cfg Config) *Server {
 		started:   time.Now(),
 		screenSem: make(chan struct{}, 1),
 	}
+	s.trajSem = make(chan struct{}, s.replicaCount())
 	s.mux.HandleFunc("POST /v1/solve", s.handleSolve)
 	s.mux.HandleFunc("POST /v1/screen", s.handleScreen)
+	s.mux.HandleFunc("POST /v1/trajectory", s.handleTrajectory)
 	s.mux.HandleFunc("GET /v1/systems", s.handleSystems)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
