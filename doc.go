@@ -4,8 +4,10 @@
 //
 // The implementation lives under internal/: the power-grid model and AC
 // power-flow algebra (internal/grid), dense and sparse linear algebra
-// (internal/la, internal/sparse), the Newton power flow (internal/pf),
-// the MIPS primal–dual interior-point solver (internal/mips), the AC-OPF
+// (internal/la; internal/sparse, whose supernodal blocked LU
+// refactorization carries the 1000+ bus systems — DESIGN.md §11), the
+// Newton power flow (internal/pf), the MIPS primal–dual interior-point
+// solver with its zero-allocation warm loop (internal/mips), the AC-OPF
 // assembly (internal/opf), the neural-network framework and multitask
 // model (internal/nn, internal/mtl), dataset generation
 // (internal/dataset), the Smart-PGSim pipeline and experiment drivers
@@ -23,7 +25,8 @@
 // the topology-aware engine), horizon (multi-period OPF trajectories
 // with chain/predict/cold warm-start modes), results (renders
 // BENCH_paper.json — the per-system warm-start speedups of the embedded
-// IEEE fleet, up to case300 — and the BENCH_trajectory.json crossover
+// fleet, up to the beyond-paper case1354 — plus the BENCH_kkt.json
+// blocked-kernel section and the BENCH_trajectory.json crossover
 // study into the RESULTS.md paper comparison), and pgsimd — the
 // long-running warm-start OPF serving daemon with an HTTP/JSON API
 // including the streaming /v1/trajectory endpoint (README.md documents

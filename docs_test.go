@@ -44,7 +44,7 @@ func TestDocsSystemMatrixCoverage(t *testing.T) {
 // embedded systems at and above case30).
 func TestResultsCoverage(t *testing.T) {
 	results := mustRead(t, "RESULTS.md")
-	for _, name := range []string{"case30", "case57", "case118", "case300"} {
+	for _, name := range []string{"case30", "case57", "case118", "case300", "case1354"} {
 		if !mentions(results, name) {
 			t.Errorf("RESULTS.md does not mention %s — regenerate from a full sweep (see EXPERIMENTS.md §Paper-scale sweep)", name)
 		}

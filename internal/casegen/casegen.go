@@ -6,8 +6,10 @@
 // except case39: case5, case9, case14, case30, case57, case118 and
 // case300 live in internal/grid (see the provenance notes in
 // internal/grid/cases.go), each with a fully rated branch set so flow
-// constraints and N-1 screening behave as at paper scale. case39 — and
-// any ad-hoc size — is synthesized here: Generate builds deterministic
+// constraints and N-1 screening behave as at paper scale, plus the
+// beyond-paper 1354-bus scaling system (case1354, synthesized to the
+// PEGASE element counts and frozen the same way as case300). case39 —
+// and any ad-hoc size — is synthesized here: Generate builds deterministic
 // systems with the requested bus/generator/branch counts and realistic
 // parameter ranges, then runs a Newton power flow to certify that the
 // base operating point is solvable — exactly the property the paper's
@@ -56,6 +58,18 @@ func PaperSpecs() map[string]Spec {
 		"case57":  {Name: "case57", Buses: 57, Gens: 7, Branches: 80, RatedBranches: 0, Seed: 57},
 		"case118": {Name: "case118", Buses: 118, Gens: 54, Branches: 185, RatedBranches: 0, Seed: 118},
 		"case300": {Name: "case300", Buses: 300, Gens: 69, Branches: 411, RatedBranches: 0, Seed: 300},
+	}
+}
+
+// BeyondPaperSpecs returns the size profiles of the beyond-paper
+// scaling systems (the ROADMAP's 1000+ bus frontier; the paper's own
+// evaluation stops at 300 buses). case1354 follows the element counts
+// of the PEGASE 1354-bus European transmission snapshot — 1354 buses,
+// 260 generators, 1991 branches — the conventional next step above
+// case300 in the Matpower size ladder.
+func BeyondPaperSpecs() map[string]Spec {
+	return map[string]Spec{
+		"case1354": {Name: "case1354", Buses: 1354, Gens: 260, Branches: 1991, RatedBranches: 0, Seed: 1354},
 	}
 }
 
@@ -130,8 +144,13 @@ func Paper(name string) (*grid.Case, error) {
 		return grid.Case118(), nil
 	case "case300":
 		return grid.Case300(), nil
+	case "case1354":
+		return grid.Case1354(), nil
 	}
 	spec, ok := PaperSpecs()[name]
+	if !ok {
+		spec, ok = BeyondPaperSpecs()[name]
+	}
 	if !ok {
 		return nil, fmt.Errorf("casegen: unknown paper system %q", name)
 	}
@@ -140,9 +159,11 @@ func Paper(name string) (*grid.Case, error) {
 
 // EmbeddedNames lists, in size order, the systems Paper serves from
 // embedded data rather than synthesis. The docs coverage check and the
-// paper-scale benchmark harness iterate this set.
+// paper-scale benchmark harness iterate this set. case1354 is the
+// beyond-paper scaling member (the paper's own evaluation stops at
+// case300).
 func EmbeddedNames() []string {
-	return []string{"case5", "case9", "case14", "case30", "case57", "case118", "case300"}
+	return []string{"case5", "case9", "case14", "case30", "case57", "case118", "case300", "case1354"}
 }
 
 // PaperSystemNames lists the five evaluation systems of Figures 4-8

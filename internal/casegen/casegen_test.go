@@ -206,3 +206,88 @@ func TestCertifiedOperatingPointStored(t *testing.T) {
 	}
 	var _ = grid.Deg2Rad // keep import
 }
+
+// TestThousandBusCertification extends the certification suite to the
+// 1000+ bus synthesis the beyond-paper scaling systems come from: the
+// generator must produce connected systems with feasible ratings,
+// deterministically regenerable from the seed, at sizes an order of
+// magnitude past the paper's evaluation.
+func TestThousandBusCertification(t *testing.T) {
+	if testing.Short() {
+		t.Skip("1000+ bus synthesis runs full Newton certifications")
+	}
+	specs := []Spec{
+		{Name: "cert1000", Buses: 1000, Gens: 180, Branches: 1500, RatedBranches: 400, Seed: 1000},
+		BeyondPaperSpecs()["case1354"],
+	}
+	for _, spec := range specs {
+		t.Run(spec.Name, func(t *testing.T) {
+			c1, err := Generate(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if c1.NB() != spec.Buses || c1.NG() != spec.Gens || c1.NL() != spec.Branches {
+				t.Fatalf("counts %d/%d/%d want %d/%d/%d",
+					c1.NB(), c1.NG(), c1.NL(), spec.Buses, spec.Gens, spec.Branches)
+			}
+			if !grid.Connected(c1) {
+				t.Fatal("synthesized system is not connected")
+			}
+			// Deterministic regeneration: a second run from the same spec
+			// must reproduce every table entry exactly.
+			c2, err := Generate(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range c1.Buses {
+				if c1.Buses[i] != c2.Buses[i] {
+					t.Fatalf("bus %d not deterministic", i)
+				}
+			}
+			for i := range c1.Branches {
+				if c1.Branches[i] != c2.Branches[i] {
+					t.Fatalf("branch %d not deterministic", i)
+				}
+			}
+			for i := range c1.Gens {
+				if c1.Gens[i] != c2.Gens[i] {
+					t.Fatalf("gen %d not deterministic", i)
+				}
+			}
+			// Rating feasibility: the certified operating point must respect
+			// every assigned rating (casegen assigns RatedHeadroom× the
+			// certified flow, floored), and the ratings respect the floor.
+			r, err := pf.Solve(c1, pf.Options{})
+			if err != nil || !r.Converged {
+				t.Fatalf("certified point does not re-solve: %v", err)
+			}
+			y := grid.MakeYbus(c1)
+			v := grid.Voltage(r.Vm, r.Va)
+			sf, st := grid.BranchFlows(y, v)
+			li := 0
+			for l, br := range c1.Branches {
+				if !br.Status {
+					continue
+				}
+				if br.RateA > 0 {
+					if br.RateA < grid.RatedFloorMVA {
+						t.Errorf("branch %d rating %v below floor", l, br.RateA)
+					}
+					flow := maxAbsFlow(sf[li], st[li]) * c1.BaseMVA
+					if flow > br.RateA*1.0001 {
+						t.Errorf("branch %d: certified flow %.1f MVA exceeds rating %.1f",
+							l, flow, br.RateA)
+					}
+				}
+				li++
+			}
+		})
+	}
+}
+
+func maxAbsFlow(a, b complex128) float64 {
+	if cAbs(a) > cAbs(b) {
+		return cAbs(a)
+	}
+	return cAbs(b)
+}

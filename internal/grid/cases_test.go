@@ -33,6 +33,7 @@ var embedded = []struct {
 	{"case57", grid.Case57, 57, 7, 80, 80, 1245, 1255, 15, 6, true},
 	{"case118", grid.Case118, 118, 54, 186, 186, 4230, 4255, 15, 6, true},
 	{"case300", grid.Case300, 300, 69, 411, 411, 5000, 30000, 20, 6, true},
+	{"case1354", grid.Case1354, 1354, 260, 1991, 1991, 20000, 40000, 25, 6, true},
 }
 
 // TestEmbeddedSystemsRoundTrip is the table-driven data smoke test of

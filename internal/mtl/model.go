@@ -402,6 +402,7 @@ func (m *Model) Clone() *Model {
 	}
 	for i := range src {
 		copy(dst[i].Val, src[i].Val)
+		dst[i].Version++
 	}
 	return c
 }
@@ -410,14 +411,61 @@ func (m *Model) Clone() *Model {
 // Mu and Z are floored at a small positive value (interior-point
 // requirement); with min-max ranges fitted on nonnegative data the
 // sigmoid heads already keep them nonnegative.
+//
+// Prediction runs on the float32 serving path (nn.Sequential.Infer):
+// the forward pass is a chain of single-row matvecs bounded by memory
+// traffic over the weights, and float32 halves it at precision far
+// beyond what a warm start needs. Training and the batch Forward stay
+// float64.
 func (m *Model) Predict(input la.Vector) *opf.Start {
-	in := la.NewMatrix(1, len(input))
-	copy(in.Data, m.Norm.In.NormalizeVec(input))
-	p := m.Forward(in)
-	x := m.Norm.X.DenormalizeVec(p.X.Row(0))
-	lam := m.Norm.Lam.DenormalizeVec(p.Lam.Row(0))
-	mu := m.Norm.Mu.DenormalizeVec(p.Mu.Row(0))
-	z := m.Norm.Z.DenormalizeVec(p.Z.Row(0))
+	lay := m.Lay
+	norm := m.Norm.In.NormalizeVec(input)
+	in32 := make([]float32, len(norm))
+	for i, v := range norm {
+		in32[i] = float32(v)
+	}
+	trunkOut := make([][]float32, len(m.trunks))
+	for i, tr := range m.trunks {
+		trunkOut[i] = tr.Infer(in32)
+	}
+	get := func(t taskID) []float32 {
+		if m.shared() {
+			return trunkOut[0]
+		}
+		return trunkOut[t]
+	}
+	xhat := make([]float32, lay.NX)
+	for _, h := range []struct {
+		t   taskID
+		off int
+	}{
+		{taskVa, lay.VaOff}, {taskVm, lay.VmOff}, {taskPg, lay.PgOff}, {taskQg, lay.QgOff},
+	} {
+		copy(xhat[h.off:], m.heads[h.t].Infer(get(h.t)))
+	}
+	lam32 := m.heads[taskLam].Infer(get(taskLam))
+	zin := get(taskZ)
+	if m.hier() {
+		zin = append(append(make([]float32, 0, len(zin)+len(xhat)), zin...), xhat...)
+	}
+	z32 := m.heads[taskZ].Infer(zin)
+	muin := get(taskMu)
+	if m.hier() {
+		muin = append(append(make([]float32, 0, len(muin)+len(z32)), muin...), z32...)
+	}
+	mu32 := m.heads[taskMu].Infer(muin)
+
+	to64 := func(v []float32) la.Vector {
+		out := make(la.Vector, len(v))
+		for i, f := range v {
+			out[i] = float64(f)
+		}
+		return out
+	}
+	x := m.Norm.X.DenormalizeVec(to64(xhat))
+	lam := m.Norm.Lam.DenormalizeVec(to64(lam32))
+	mu := m.Norm.Mu.DenormalizeVec(to64(mu32))
+	z := m.Norm.Z.DenormalizeVec(to64(z32))
 	for i := range mu {
 		if mu[i] < 1e-8 {
 			mu[i] = 1e-8
@@ -429,6 +477,18 @@ func (m *Model) Predict(input la.Vector) *opf.Start {
 		}
 	}
 	return &opf.Start{X: x, Lam: lam, Mu: mu, Z: z}
+}
+
+// Warmup eagerly materializes the float32 serving caches of every
+// layer. Call it when a replica enters a serving pool so the one-time
+// conversion happens at deploy time, not inside the first prediction.
+func (m *Model) Warmup() {
+	for _, tr := range m.trunks {
+		tr.Materialize32()
+	}
+	for _, h := range m.heads {
+		h.Materialize32()
+	}
 }
 
 // snapshot is the on-disk model format: normalization state plus the
@@ -464,6 +524,7 @@ func (m *Model) Load(r io.Reader) error {
 			return fmt.Errorf("mtl: tensor %d has %d values, model expects %d", i, len(s.Vals[i]), len(p.Val))
 		}
 		copy(p.Val, s.Vals[i])
+		p.Version++
 	}
 	m.Norm = s.Norm
 	return nil

@@ -1,0 +1,114 @@
+package nn
+
+// Serving-path inference. Training runs in float64 (nn.go), but the
+// serving forward pass is a chain of single-row matvecs whose cost is
+// pure memory traffic over the weight matrices — at case300 scale the
+// model streams ~46 MB of weights per prediction. Mainstream DL
+// frameworks (including the one behind the original Smart-PGSim model)
+// serve in float32, so Infer streams a float32 copy of each Linear's
+// weights: half the traffic, and precision far beyond what a warm-start
+// prediction needs — the interior-point solver corrects the iterate,
+// and a cold restart guards divergence. The float64 master weights stay
+// the source of truth: each Linear lazily materializes its float32 copy
+// and revalidates it against the owning Params' Version counters, which
+// every mutation path (optimizer steps, snapshot loads, weight copies)
+// bumps.
+//
+// Like Forward, Infer is not safe for concurrent use on one module
+// instance (the lazy cache build races); the established convention of
+// one Model replica per worker covers it.
+
+import "math"
+
+// ensure32 (re)builds the float32 weight copy if the master weights
+// changed since it was last materialized.
+func (l *Linear) ensure32() {
+	if l.wbVer == l.W.Version+l.B.Version+1 {
+		return
+	}
+	if l.w32 == nil {
+		l.w32 = make([]float32, len(l.W.Val))
+		l.b32 = make([]float32, len(l.B.Val))
+	}
+	for i, v := range l.W.Val {
+		l.w32[i] = float32(v)
+	}
+	for i, v := range l.B.Val {
+		l.b32[i] = float32(v)
+	}
+	l.wbVer = l.W.Version + l.B.Version + 1
+}
+
+// infer32 is the single-sample float32 matvec y = W·x + b, unrolled
+// four outputs per pass like Forward so each loaded input feature feeds
+// four accumulators.
+func (l *Linear) infer32(x []float32) []float32 {
+	if len(x) != l.In {
+		panic("nn: Linear infer input width mismatch")
+	}
+	l.ensure32()
+	in := l.In
+	y := make([]float32, l.Out)
+	o := 0
+	for ; o+4 <= l.Out; o += 4 {
+		w0 := l.w32[o*in : o*in+in]
+		w1 := l.w32[(o+1)*in : (o+1)*in+in]
+		w2 := l.w32[(o+2)*in : (o+2)*in+in]
+		w3 := l.w32[(o+3)*in : (o+3)*in+in]
+		s0, s1, s2, s3 := l.b32[o], l.b32[o+1], l.b32[o+2], l.b32[o+3]
+		for i, xi := range x {
+			s0 += w0[i] * xi
+			s1 += w1[i] * xi
+			s2 += w2[i] * xi
+			s3 += w3[i] * xi
+		}
+		y[o], y[o+1], y[o+2], y[o+3] = s0, s1, s2, s3
+	}
+	for ; o < l.Out; o++ {
+		w := l.w32[o*in : o*in+in]
+		s := l.b32[o]
+		for i, xi := range x {
+			s += w[i] * xi
+		}
+		y[o] = s
+	}
+	return y
+}
+
+// Materialize32 eagerly builds the float32 weight caches of every
+// Linear in the chain, so a serving replica pays the conversion at
+// deploy time instead of inside its first timed prediction.
+func (s *Sequential) Materialize32() {
+	for _, m := range s.Mods {
+		if l, ok := m.(*Linear); ok {
+			l.ensure32()
+		}
+	}
+}
+
+// Infer runs the chain on one sample in float32. Activations may be
+// applied in place, so the returned slice can alias x when the chain
+// starts with an activation; callers that reuse x must pass a copy.
+// Training caches are untouched — Infer never interleaves with an
+// in-flight Forward/Backward pair.
+func (s *Sequential) Infer(x []float32) []float32 {
+	for _, m := range s.Mods {
+		switch t := m.(type) {
+		case *Linear:
+			x = t.infer32(x)
+		case *ReLU:
+			for i, v := range x {
+				if v < 0 {
+					x[i] = 0
+				}
+			}
+		case *Sigmoid:
+			for i, v := range x {
+				x[i] = float32(1 / (1 + math.Exp(-float64(v))))
+			}
+		default:
+			panic("nn: Infer does not support this module type")
+		}
+	}
+	return x
+}

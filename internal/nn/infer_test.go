@@ -1,0 +1,104 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/la"
+)
+
+// inferVsForward runs both paths on the same input and returns the
+// largest relative disagreement.
+func inferVsForward(t *testing.T, s *Sequential, in []float64) float64 {
+	t.Helper()
+	x := la.NewMatrix(1, len(in))
+	copy(x.Data, in)
+	want := s.Forward(x).Row(0)
+
+	x32 := make([]float32, len(in))
+	for i, v := range in {
+		x32[i] = float32(v)
+	}
+	got := s.Infer(x32)
+	if len(got) != len(want) {
+		t.Fatalf("Infer returned %d outputs, Forward %d", len(got), len(want))
+	}
+	worst := 0.0
+	for i := range want {
+		d := math.Abs(float64(got[i])-want[i]) / (1 + math.Abs(want[i]))
+		if d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// TestInferMatchesForward pins the float32 serving path to the float64
+// training path within single-precision rounding, across plain, ReLU
+// and sigmoid-terminated stacks and ragged widths that exercise the
+// unroll remainder.
+func TestInferMatchesForward(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, tc := range []struct {
+		name       string
+		sigmoidOut bool
+		widths     []int
+	}{
+		{"deep-relu", false, []int{37, 64, 51, 23}},
+		{"sigmoid-out", true, []int{19, 30, 11}},
+		{"single-layer", false, []int{5, 3}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			s := MLP(rng, tc.sigmoidOut, tc.widths...)
+			in := make([]float64, tc.widths[0])
+			for i := range in {
+				in[i] = rng.NormFloat64()
+			}
+			if worst := inferVsForward(t, s, in); worst > 1e-5 {
+				t.Fatalf("float32 path off by %v relative", worst)
+			}
+		})
+	}
+}
+
+// TestInferCacheInvalidation pins the Version protocol: an optimizer
+// step after the float32 cache is built must be visible on the next
+// Infer (stale caches would silently serve pre-step weights).
+func TestInferCacheInvalidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	s := MLP(rng, false, 8, 12, 4)
+	in := make([]float64, 8)
+	for i := range in {
+		in[i] = rng.NormFloat64()
+	}
+	inferVsForward(t, s, in) // builds the caches
+
+	// One Adam step off a nonzero gradient.
+	x := la.NewMatrix(1, 8)
+	copy(x.Data, in)
+	out := s.Forward(x)
+	g := la.NewMatrix(1, 4)
+	for i := range g.Data {
+		g.Data[i] = out.Data[i] - 1
+	}
+	s.Backward(g)
+	opt := NewAdam(s.Params(), 0.1)
+	opt.Step()
+	ZeroGrads(s.Params())
+
+	if worst := inferVsForward(t, s, in); worst > 1e-5 {
+		t.Fatalf("Infer served stale weights after optimizer step: off by %v", worst)
+	}
+
+	// Direct weight copy paths (snapshot load, clone) bump Version too.
+	for _, p := range s.Params() {
+		for i := range p.Val {
+			p.Val[i] *= 1.5
+		}
+		p.Version++
+	}
+	if worst := inferVsForward(t, s, in); worst > 1e-5 {
+		t.Fatalf("Infer served stale weights after manual bump: off by %v", worst)
+	}
+}

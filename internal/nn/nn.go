@@ -21,6 +21,12 @@ type Param struct {
 	Name string
 	Val  []float64
 	Grad []float64
+
+	// Version counts in-place rewrites of Val after construction
+	// (optimizer steps, snapshot loads, weight copies). The serving-path
+	// float32 weight caches (infer.go) revalidate against it, so every
+	// code path that mutates Val must increment it.
+	Version uint64
 }
 
 // ZeroGrad clears the gradient accumulator.
@@ -48,6 +54,13 @@ type Linear struct {
 	W       *Param // Out×In, row-major
 	B       *Param // Out
 	xCache  *la.Matrix
+
+	// float32 serving-path weight cache (infer.go). wbVer stores the
+	// Params' Version+1 at materialization, so the zero value means
+	// "never built".
+	w32   []float32
+	b32   []float32
+	wbVer uint64
 }
 
 // NewLinear creates a dense layer with He-uniform initialization drawn
@@ -65,18 +78,38 @@ func NewLinear(in, out int, rng *rand.Rand) *Linear {
 	return l
 }
 
-// Forward computes y = x·Wᵀ + b.
+// Forward computes y = x·Wᵀ + b. The output loop is unrolled four
+// neurons at a time so each loaded input feature feeds four independent
+// accumulators — serving-path inference is a single-row matvec whose
+// cost is pure memory traffic over W, and the unroll keeps the x row in
+// registers instead of re-streaming it per output.
 func (l *Linear) Forward(x *la.Matrix) *la.Matrix {
 	if x.Cols != l.In {
 		panic(fmt.Sprintf("nn: Linear expects %d features, got %d", l.In, x.Cols))
 	}
 	l.xCache = x
 	y := la.NewMatrix(x.Rows, l.Out)
+	in := l.In
 	for r := 0; r < x.Rows; r++ {
 		xr := x.Row(r)
 		yr := y.Row(r)
-		for o := 0; o < l.Out; o++ {
-			w := l.W.Val[o*l.In : (o+1)*l.In]
+		o := 0
+		for ; o+4 <= l.Out; o += 4 {
+			w0 := l.W.Val[o*in : o*in+in]
+			w1 := l.W.Val[(o+1)*in : (o+1)*in+in]
+			w2 := l.W.Val[(o+2)*in : (o+2)*in+in]
+			w3 := l.W.Val[(o+3)*in : (o+3)*in+in]
+			s0, s1, s2, s3 := l.B.Val[o], l.B.Val[o+1], l.B.Val[o+2], l.B.Val[o+3]
+			for i, xi := range xr {
+				s0 += w0[i] * xi
+				s1 += w1[i] * xi
+				s2 += w2[i] * xi
+				s3 += w3[i] * xi
+			}
+			yr[o], yr[o+1], yr[o+2], yr[o+3] = s0, s1, s2, s3
+		}
+		for ; o < l.Out; o++ {
+			w := l.W.Val[o*in : o*in+in]
 			s := l.B.Val[o]
 			for i, xi := range xr {
 				s += w[i] * xi

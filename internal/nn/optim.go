@@ -36,6 +36,7 @@ func (a *Adam) Step() {
 	bc2 := 1 - math.Pow(a.Beta2, float64(a.t))
 	for i, p := range a.params {
 		m, v := a.m[i], a.v[i]
+		p.Version++
 		for k := range p.Val {
 			g := p.Grad[k]
 			if a.WeightDecay != 0 {
@@ -71,6 +72,7 @@ func NewSGD(params []*Param, lr, momentum float64) *SGD {
 func (s *SGD) Step() {
 	for i, p := range s.params {
 		v := s.vel[i]
+		p.Version++
 		for k := range p.Val {
 			v[k] = s.Momentum*v[k] - s.LR*p.Grad[k]
 			p.Val[k] += v[k]

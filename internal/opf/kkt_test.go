@@ -52,9 +52,10 @@ func caseByName(t *testing.T, name string) *grid.Case {
 }
 
 // TestKKTCacheSharedAcrossPerturbations pins the cross-solve seam: all
-// instances derived from one Prepare share its ordering cache, so a
-// sweep computes the fill-reducing ordering once and every iteration
-// after each solve's first is a numeric refactorization.
+// instances derived from one Prepare share its ordering cache AND its
+// pivot-shaped symbolic cache, so a sweep computes the fill-reducing
+// ordering and the symbolic analysis once — every iteration after the
+// very first across the whole sweep is a numeric refactorization.
 func TestKKTCacheSharedAcrossPerturbations(t *testing.T) {
 	base := Prepare(grid.Case9())
 	nb := base.Lay.NB
@@ -74,11 +75,11 @@ func TestKKTCacheSharedAcrossPerturbations(t *testing.T) {
 	if st.Orderings != 1 {
 		t.Fatalf("orderings = %d, want 1 for the whole sweep", st.Orderings)
 	}
-	if st.Analyses != 3 {
-		t.Fatalf("analyses = %d, want 3 (one per solve)", st.Analyses)
+	if st.Analyses != 1 {
+		t.Fatalf("analyses = %d, want 1 (shared across the sweep)", st.Analyses)
 	}
-	if st.Refactors != uint64(totalIters-3) {
-		t.Fatalf("refactors = %d, want %d", st.Refactors, totalIters-3)
+	if st.Refactors != uint64(totalIters-1) {
+		t.Fatalf("refactors = %d, want %d", st.Refactors, totalIters-1)
 	}
 	if st.Fallbacks != 0 {
 		t.Fatalf("fallbacks = %d, want 0", st.Fallbacks)

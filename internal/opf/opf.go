@@ -91,6 +91,15 @@ type OPF struct {
 	// solve freezes its own pivot sequence — so derived instances may be
 	// solved in parallel with bit-identical results regardless of order.
 	kkt *sparse.OrderingCache
+	// kktSym caches the pivot-shaped symbolic analysis of the KKT
+	// pattern. Shaped pivot sequences are pure functions of the pattern
+	// (like the ordering above), so every Rebind/Perturb derivation
+	// shares this cache too: the first solve of a grid analyzes, and
+	// every later solve of any load variant — the entire warm-start
+	// pipeline — goes straight to numeric refactorization. mips pins
+	// entries per solve through a child cache, keeping parallel sweeps
+	// deterministic and eviction-safe.
+	kktSym *sparse.SymbolicCache
 	// kktForced records that SetOrdering overrode the per-system
 	// default, so Solve's NoKKTReuse path honours an explicitly forced
 	// auto instead of falling back to RCM.
@@ -106,9 +115,11 @@ type OPF struct {
 // the ordering is measured per grid with sparse.OrderAuto's
 // pattern-pure pivoted-fill probe and the one-off cost is amortized by
 // the shared OrderingCache. The probe is deliberately conservative
-// under pivoting (it currently resolves to RCM across the embedded
-// fleet and reserves AMD for patterns where it wins decisively — see
-// RESULTS.md for the measured fills). Below the threshold, small
+// under pivoting: it reserves AMD for patterns where it wins decisively
+// and otherwise keeps RCM, so which side a given grid lands on depends
+// on the actual KKT pattern (case300's real solve KKT probes to AMD;
+// the bordered benchmark proxies probe to RCM — see RESULTS.md for the
+// measured fills). Below the threshold, small
 // patterns factor in microseconds either way and RCM stays the fixed
 // default (bit-compatible with the historic behaviour). See DESIGN.md
 // §9.
@@ -200,6 +211,7 @@ func Prepare(c *grid.Case) *OPF {
 		refVa:  grid.Deg2Rad(c.Buses[c.RefIndex()].Va),
 		kkt:    sparse.NewOrderingCache(DefaultOrdering(nb)),
 	}
+	o.kktSym = sparse.NewSymbolicCacheFrom(o.kkt, 1.0).Shaped()
 	o.prep = time.Since(t0)
 	return o
 }
@@ -211,6 +223,7 @@ func Prepare(c *grid.Case) *OPF {
 // counters are discarded.
 func (o *OPF) SetOrdering(ord sparse.Ordering) {
 	o.kkt = sparse.NewOrderingCache(ord)
+	o.kktSym = sparse.NewSymbolicCacheFrom(o.kkt, 1.0).Shaped()
 	o.kktForced = true
 }
 
@@ -289,6 +302,7 @@ func (o *OPF) RebindOutage(branch int) (*OPF, error) {
 		cp.ratedY = &rc
 	}
 	cp.kkt = sparse.NewOrderingCache(o.kkt.Ordering())
+	cp.kktSym = sparse.NewSymbolicCacheFrom(cp.kkt, 1.0).Shaped()
 	cp.prep = time.Since(t0)
 	return &cp, nil
 }
@@ -344,6 +358,7 @@ func (o *OPF) RebindGenOutage(gen int) (*OPF, error) {
 	}
 	cp.Lay.NIq = 2*lay.NLRated + nFinite
 	cp.kkt = sparse.NewOrderingCache(o.kkt.Ordering())
+	cp.kktSym = sparse.NewSymbolicCacheFrom(cp.kkt, 1.0).Shaped()
 	cp.prep = time.Since(t0)
 	return &cp, nil
 }
@@ -561,9 +576,14 @@ type Options = mips.Options
 // default cold start). The returned error wraps mips failures; the Result
 // always reports iterations and timing.
 func (o *OPF) Solve(start *Start, opt Options) (*Result, error) {
-	p := o.problem()
+	sc := evalPool.Get().(*evalScratch)
+	defer evalPool.Put(sc)
+	p := o.problemWith(sc)
 	if opt.Orderings == nil && !opt.NoKKTReuse {
 		opt.Orderings = o.kkt
+		if opt.KKT == nil {
+			opt.KKT = o.kktSym
+		}
 	}
 	if opt.Ordering == sparse.OrderRCM {
 		// Thread the grid's configured ordering (SetOrdering) into the
@@ -647,6 +667,18 @@ func (o *OPF) Constraints(x la.Vector) (g, h la.Vector) {
 	return g, h
 }
 
+// Problem returns the mips problem description Solve hands to the
+// interior-point solver, backed by a private evaluation scratch (not
+// the shared pool, so callers may hold it as long as they like). It is
+// the seam the solver's allocation harness drives Steppers through.
+func (o *OPF) Problem() *mips.Problem {
+	return o.problemWith(new(evalScratch))
+}
+
+// problem builds the reference evaluation path: each callback allocates
+// its results from scratch using the grid-level derivative routines.
+// Solve uses the entry-wise streaming path in eval.go instead; this one
+// remains as the oracle the equivalence tests pin that path against.
 func (o *OPF) problem() *mips.Problem {
 	return &mips.Problem{
 		NX: o.Lay.NX,

@@ -166,9 +166,12 @@ func (s *Server) AddSystem(sys *core.System, m *mtl.Model) {
 	}
 	n := s.replicaCount()
 	reps := make([]core.Predictor, n)
+	m.Warmup()  // float32 serving caches built at registration, not in the first request
 	reps[0] = m // the original counts as one replica
 	for i := 1; i < n; i++ {
-		reps[i] = m.Clone()
+		c := m.Clone()
+		c.Warmup()
+		reps[i] = c
 	}
 	s.addSystem(sys, reps)
 }

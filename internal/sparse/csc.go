@@ -95,15 +95,15 @@ func (b *Builder) ToCSC() *CSC {
 		vals[p] = b.vals[k]
 		next[j]++
 	}
-	// Sort rows within each column and sum duplicates.
+	// Sort rows within each column (stably, so duplicates sum in append
+	// order — matching Assembler semantics) and sum duplicates.
 	outRows := rows[:0]
 	outVals := vals[:0]
 	colStart := 0
 	newPtr := make([]int, b.ncols+1)
 	for j := 0; j < b.ncols; j++ {
 		lo, hi := a.ColPtr[j], a.ColPtr[j+1]
-		seg := colSeg{rows[lo:hi], vals[lo:hi]}
-		sort.Sort(seg)
+		sortColSeg(rows[lo:hi], vals[lo:hi])
 		for p := lo; p < hi; p++ {
 			if p > lo && rows[p] == outRows[len(outRows)-1] && len(outRows) > colStart {
 				outVals[len(outVals)-1] += vals[p]
@@ -131,6 +131,26 @@ func (s colSeg) Less(i, j int) bool { return s.rows[i] < s.rows[j] }
 func (s colSeg) Swap(i, j int) {
 	s.rows[i], s.rows[j] = s.rows[j], s.rows[i]
 	s.vals[i], s.vals[j] = s.vals[j], s.vals[i]
+}
+
+// sortColSeg stably sorts one column segment by row. Typical Jacobian
+// and KKT columns hold a handful of entries, so a direct insertion sort
+// (stable by construction) beats the interface-based sort.Sort that used
+// to dominate assembly profiles; long segments fall back to sort.Stable.
+func sortColSeg(rows []int, vals []float64) {
+	if len(rows) <= 32 {
+		for t := 1; t < len(rows); t++ {
+			r, v := rows[t], vals[t]
+			u := t - 1
+			for u >= 0 && rows[u] > r {
+				rows[u+1], vals[u+1] = rows[u], vals[u]
+				u--
+			}
+			rows[u+1], vals[u+1] = r, v
+		}
+		return
+	}
+	sort.Stable(colSeg{rows, vals})
 }
 
 // Identity returns the n×n identity in CSC form.
@@ -174,6 +194,26 @@ func (a *CSC) MulVec(x la.Vector) la.Vector {
 	return y
 }
 
+// MulVecInto computes dst = a·x without allocating. dst must have
+// length NRows and must not alias x.
+func (a *CSC) MulVecInto(dst, x la.Vector) {
+	if len(x) != a.NCols || len(dst) != a.NRows {
+		panic(fmt.Sprintf("sparse: MulVecInto dims %dx%d · %d -> %d", a.NRows, a.NCols, len(x), len(dst)))
+	}
+	for i := range dst {
+		dst[i] = 0
+	}
+	for j := 0; j < a.NCols; j++ {
+		xj := x[j]
+		if xj == 0 {
+			continue
+		}
+		for p := a.ColPtr[j]; p < a.ColPtr[j+1]; p++ {
+			dst[a.RowIdx[p]] += a.Val[p] * xj
+		}
+	}
+}
+
 // MulVecT returns aᵀ*x.
 func (a *CSC) MulVecT(x la.Vector) la.Vector {
 	if len(x) != a.NRows {
@@ -188,6 +228,21 @@ func (a *CSC) MulVecT(x la.Vector) la.Vector {
 		y[j] = s
 	}
 	return y
+}
+
+// MulVecTInto computes dst = aᵀ·x without allocating. dst must have
+// length NCols and must not alias x.
+func (a *CSC) MulVecTInto(dst, x la.Vector) {
+	if len(x) != a.NRows || len(dst) != a.NCols {
+		panic(fmt.Sprintf("sparse: MulVecTInto dims %dx%d · %d -> %d", a.NRows, a.NCols, len(x), len(dst)))
+	}
+	for j := 0; j < a.NCols; j++ {
+		var s float64
+		for p := a.ColPtr[j]; p < a.ColPtr[j+1]; p++ {
+			s += a.Val[p] * x[a.RowIdx[p]]
+		}
+		dst[j] = s
+	}
 }
 
 // T returns the transpose as a new CSC matrix.

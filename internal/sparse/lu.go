@@ -205,11 +205,20 @@ func (f *LUFactors) dfs(start, top int, xi, pstack []int, marked []bool, visited
 
 // Solve solves A·x = b with the factorization. b is not modified.
 func (f *LUFactors) Solve(b la.Vector) la.Vector {
-	if len(b) != f.n {
-		panic("sparse: LU Solve length mismatch")
+	x := make(la.Vector, f.n)
+	f.SolveInto(x, b, make(la.Vector, f.n))
+	return x
+}
+
+// SolveInto solves A·x = b into dst without allocating. work is an
+// n-length scratch vector; dst, b and work must not alias each other.
+// b is not modified.
+func (f *LUFactors) SolveInto(dst, b, work la.Vector) {
+	if len(b) != f.n || len(dst) != f.n || len(work) != f.n {
+		panic("sparse: LU SolveInto length mismatch")
 	}
 	n := f.n
-	y := make(la.Vector, n)
+	y := work
 	// Apply row permutation: y[pinv[i]] = b[i].
 	for i := 0; i < n; i++ {
 		y[f.pinv[i]] = b[i]
@@ -237,11 +246,9 @@ func (f *LUFactors) Solve(b la.Vector) la.Vector {
 		}
 	}
 	// Undo column permutation: x[q[k]] = w[k].
-	x := make(la.Vector, n)
 	for k := 0; k < n; k++ {
-		x[f.q[k]] = y[k]
+		dst[f.q[k]] = y[k]
 	}
-	return x
 }
 
 // NNZ returns the total stored entries of L and U.

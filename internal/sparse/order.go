@@ -207,19 +207,17 @@ func autoOrder(a *CSC) []int {
 	return rcmOrder(a)
 }
 
-// probeFill measures the pivoted LU fill of a's pattern under perm by
-// factorizing a surrogate with the same pattern and pattern-derived
-// values. Real values must not be used: the probe's outcome is cached
-// per pattern and shared across concurrently solved instances whose
-// values differ, so it has to be value-independent. Stored diagonal
-// entries get a dominant magnitude (well-scaled diagonals keep
-// threshold pivots on the diagonal, as in the KKT's Hessian block) and
-// off-diagonals a position hash spread over [1, 2) — avoiding the
-// singular all-ones case and systematic pivot ties — while the
-// structural zeros that matter (absent entries, e.g. a KKT matrix's
-// empty trailing diagonal block) force the same off-diagonal pivoting
-// that makes true fill diverge from symmetric-elimination estimates.
-func probeFill(a *CSC, perm []int) (int, error) {
+// pivotSurrogate builds a matrix with a's exact pattern and
+// pattern-derived values: stored diagonal entries get a dominant
+// magnitude (well-scaled diagonals keep threshold pivots on the
+// diagonal, as in the KKT's Hessian block) and off-diagonals a position
+// hash spread over [1, 2) — avoiding the singular all-ones case and
+// systematic pivot ties. Structural zeros that matter (absent entries,
+// e.g. a KKT matrix's empty trailing diagonal block) still force
+// off-diagonal pivoting. Both the ordering probe and shaped symbolic
+// analysis (SymbolicCache.Shaped) factor this surrogate, so the pivot
+// sequences they freeze are pure functions of the sparsity pattern.
+func pivotSurrogate(a *CSC) *CSC {
 	sur := &CSC{NRows: a.NRows, NCols: a.NCols, ColPtr: a.ColPtr, RowIdx: a.RowIdx, Val: make([]float64, len(a.RowIdx))}
 	for j := 0; j < a.NCols; j++ {
 		for p := a.ColPtr[j]; p < a.ColPtr[j+1]; p++ {
@@ -233,7 +231,18 @@ func probeFill(a *CSC, perm []int) (int, error) {
 			sur.Val[p] = 1 + float64(h%1024)/1024
 		}
 	}
-	f, err := FactorizePerm(sur, perm, 1.0)
+	return sur
+}
+
+// probeFill measures the pivoted LU fill of a's pattern under perm by
+// factorizing the pattern-derived pivot surrogate. Real values must not
+// be used: the probe's outcome is cached per pattern and shared across
+// concurrently solved instances whose values differ, so it has to be
+// value-independent — the same reason shaped symbolic analysis uses the
+// identical surrogate, which keeps the probe's fill ranking consistent
+// with the fill shaped factorizations actually see.
+func probeFill(a *CSC, perm []int) (int, error) {
+	f, err := FactorizePerm(pivotSurrogate(a), perm, 1.0)
 	if err != nil {
 		return 0, err
 	}

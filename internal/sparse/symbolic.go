@@ -4,6 +4,7 @@ import (
 	"errors"
 	"math"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/la"
 )
@@ -23,6 +24,14 @@ var ErrRefactorUnstable = errors.New("sparse: frozen pivot sequence unstable for
 // factorization guarantees ratio ≥ tol; refactorization accepts decay
 // down to this floor before declaring the pivot sequence stale.
 const refactorPivotFloor = 1e-10
+
+// boostPivotRel is the static pivot perturbation scale for boosted
+// (pivot-shaped) refactorizations: a decayed pivot is replaced by
+// ±boostPivotRel·colmax, bounding element growth at 1/boostPivotRel.
+// √machine-epsilon is the classic static-pivoting choice (SuperLU_DIST
+// uses √ε·‖A‖): it splits the 16 available digits evenly between the
+// perturbation and the growth it permits.
+const boostPivotRel = 1e-8
 
 // pattern is a stored sparsity pattern for exact match checks.
 type pattern struct {
@@ -79,6 +88,25 @@ type Symbolic struct {
 	li, ui  []int // row indices in pivot coordinates
 	tol     float64
 	pat     pattern
+	// boost enables static pivot perturbation during refactorization
+	// (SuperLU_DIST-style): a frozen pivot that decays below
+	// boostPivotRel of its column's magnitude is replaced by
+	// ±boostPivotRel·colmax instead of aborting with
+	// ErrRefactorUnstable. Set only on pivot-shaped symbolics, whose
+	// diagonal sequences are chosen from the pattern surrogate rather
+	// than any particular values: the occasional lopsided iterate (a
+	// barrier weight at 1e12, a multiplier-free diagonal at 1e-10) then
+	// costs a bounded O(boostPivotRel) perturbation of that column —
+	// absorbed by the outer Newton iteration — instead of a full
+	// re-analysis onto a value-pivoted sequence with severalfold worse
+	// fill.
+	boost bool
+
+	// blk caches the blocked-kernel schedule (supernode partition,
+	// aligned row order, per-column consumption programs). Built lazily
+	// on first use; a pure function of the frozen pattern, so a benign
+	// build race stores identical schedules. See blocked.go.
+	blk atomic.Pointer[blockedSchedule]
 }
 
 // Analyze computes a full LU factorization of a and extracts its symbolic
@@ -224,9 +252,11 @@ const symbolicCacheCap = 4
 // solves to keep solver output independent of request order — the
 // serving daemon and the parallel sweeps rely on that.
 type SymbolicCache struct {
-	ord Ordering
-	oc  *OrderingCache // optional source of cached orderings
-	tol float64
+	ord    Ordering
+	oc     *OrderingCache // optional source of cached orderings
+	tol    float64
+	shaped bool           // analyze the pivot surrogate, not first-seen values
+	parent *SymbolicCache // optional shared pattern-pure cache (see NewChild)
 
 	mu    sync.Mutex
 	syms  []*Symbolic // most recently used first
@@ -250,6 +280,53 @@ func NewSymbolicCacheFrom(oc *OrderingCache, tol float64) *SymbolicCache {
 // Ordering returns the fill-reducing ordering the cache analyzes with.
 func (c *SymbolicCache) Ordering() Ordering { return c.ord }
 
+// Shaped switches the cache to pivot-shaped analysis and returns it (a
+// constructor modifier: NewSymbolicCacheFrom(oc, tol).Shaped()). A
+// shaped cache analyzes the pattern-derived pivot surrogate instead of
+// the first matrix seen, so the frozen pivot sequence — like the
+// ordering — becomes a pure function of the sparsity pattern. Two
+// consequences:
+//
+//   - Sharing is deterministic. A plain cache must stay per-solve
+//     because its pivots encode the first solve's values; a shaped
+//     cache can be shared across solves (see NewChild) without making
+//     any result depend on another solve's values.
+//   - Diagonally grounded patterns order better. The surrogate's
+//     dominant stored diagonals keep pivots on the diagonal wherever
+//     the pattern has one, so fill tracks the symmetric-elimination
+//     prediction minimum-degree orderings optimize — on quasi-definite
+//     KKT systems this is several times less fill than pivots frozen at
+//     an interior-point iterate's lopsided values.
+//
+// Numeric safety is unchanged: every refactorization still runs the
+// pivot-decay check, and a pattern whose real values reject the shaped
+// pivots falls back to a fresh value-pivoted analysis exactly like any
+// stale pivot sequence (counted in Fallbacks). Value-pivoted fallback
+// analyses are kept out of shared parents so those stay pattern-pure.
+func (c *SymbolicCache) Shaped() *SymbolicCache {
+	c.shaped = true
+	return c
+}
+
+// NewChild returns a per-stream cache layered over c: lookups consult
+// the child first, then c, and analyses the child performs are inserted
+// into both. Entries the child uses are pinned locally, so a pattern
+// evicted from a busy shared parent (e.g. a parallel contingency sweep
+// cycling more patterns than the MRU retains) cannot force a mid-solve
+// re-analysis. The child inherits the parent's ordering source, pivot
+// threshold and shaped mode; its Stats count only this stream's work,
+// which keeps the per-solve accounting mips reports unchanged.
+//
+// The parent must be a shaped cache: sharing value-pivoted symbolics
+// would make one stream's pivot choices — and with them the last bits
+// of every result — depend on whichever stream analyzed first.
+func (c *SymbolicCache) NewChild() *SymbolicCache {
+	if !c.shaped {
+		panic("sparse: NewChild requires a shaped parent cache (see Shaped)")
+	}
+	return &SymbolicCache{ord: c.ord, oc: c.oc, tol: c.tol, shaped: true, parent: c}
+}
+
 // Stats returns a snapshot of the cache counters.
 func (c *SymbolicCache) Stats() CacheStats {
 	c.mu.Lock()
@@ -257,23 +334,49 @@ func (c *SymbolicCache) Stats() CacheStats {
 	return c.stats
 }
 
+// FactorSlot holds per-pattern preallocated factors and workspace for
+// FactorizeInto. One slot serves one sequential factorization stream
+// (e.g. one interior-point solve); the factors returned through it are
+// valid until the next FactorizeInto call on the same slot.
+type FactorSlot struct {
+	sym *Symbolic
+	f   *LUFactors
+	ws  *RefactorWorkspace
+}
+
+func (sl *FactorSlot) bind(sym *Symbolic) {
+	sl.sym = sym
+	sl.f = &LUFactors{}
+	sl.ws = sym.NewRefactorWorkspace()
+}
+
 // Factorize returns an LU of a, refactorizing on a cached symbolic
 // analysis when a's pattern has been seen before and analyzing it
-// otherwise.
+// otherwise. Refactorizations go through the automatically selected
+// kernel (scalar or blocked — see Symbolic.Blocked).
 func (c *SymbolicCache) Factorize(a *CSC) (*LUFactors, error) {
-	c.mu.Lock()
-	var sym *Symbolic
-	for i, s := range c.syms {
-		if s.PatternMatches(a) {
-			sym = s
-			copy(c.syms[1:i+1], c.syms[:i])
-			c.syms[0] = sym
-			break
+	return c.factorize(a, nil)
+}
+
+// FactorizeInto is Factorize reusing slot's preallocated factor storage
+// and workspace: on the steady-state path (pattern already analyzed,
+// slot already bound to it) it performs zero allocations. The returned
+// factors alias the slot and are valid until the next call.
+func (c *SymbolicCache) FactorizeInto(slot *FactorSlot, a *CSC) (*LUFactors, error) {
+	return c.factorize(a, slot)
+}
+
+func (c *SymbolicCache) factorize(a *CSC, slot *FactorSlot) (*LUFactors, error) {
+	sym := c.lookup(a)
+	if sym == nil && c.parent != nil {
+		if sym = c.parent.lookup(a); sym != nil {
+			// Pin the shared entry locally: parent evictions can no
+			// longer force this stream to re-analyze mid-solve.
+			c.insert(sym, a)
 		}
 	}
-	c.mu.Unlock()
 	if sym != nil {
-		f, err := sym.Refactor(a)
+		f, err := refactorOn(sym, a, slot)
 		if err == nil {
 			c.mu.Lock()
 			c.stats.Refactors++
@@ -281,47 +384,143 @@ func (c *SymbolicCache) Factorize(a *CSC) (*LUFactors, error) {
 			return f, nil
 		}
 		// Frozen pivots went stale (or the matrix is numerically
-		// singular): re-analyze with fresh pivoting.
+		// singular): re-analyze with fresh value pivoting. The
+		// value-pivoted replacement stays local — shared parents hold
+		// only pattern-pure entries.
 		c.mu.Lock()
 		c.stats.Fallbacks++
 		c.mu.Unlock()
+		return c.analyzeValue(a, slot)
 	}
-	var q []int
+	if c.shaped {
+		f, analyzed, err := c.analyzeShaped(a, slot)
+		if err == nil {
+			return f, nil
+		}
+		if analyzed {
+			// The shaped pivot sequence exists but a's values reject
+			// it; fall back to value pivoting like any stale sequence.
+			c.mu.Lock()
+			c.stats.Fallbacks++
+			c.mu.Unlock()
+		}
+		return c.analyzeValue(a, slot)
+	}
+	return c.analyzeValue(a, slot)
+}
+
+// lookup returns the cached symbolic for a's pattern, bumped to the MRU
+// position, or nil.
+func (c *SymbolicCache) lookup(a *CSC) *Symbolic {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i, s := range c.syms {
+		if s.PatternMatches(a) {
+			copy(c.syms[1:i+1], c.syms[:i])
+			c.syms[0] = s
+			return s
+		}
+	}
+	return nil
+}
+
+// insert places sym at the MRU position, replacing an existing entry for
+// a's pattern and evicting the oldest beyond the cap. Racing inserts of
+// the same pattern into a shared shaped cache store identical symbolics
+// (pure functions of the pattern), so the replace keeps the cache
+// correct either way.
+func (c *SymbolicCache) insert(sym *Symbolic, a *CSC) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i, s := range c.syms {
+		if s.PatternMatches(a) {
+			copy(c.syms[1:i+1], c.syms[:i])
+			c.syms[0] = sym
+			return
+		}
+	}
+	c.syms = append(c.syms, nil)
+	copy(c.syms[1:], c.syms)
+	c.syms[0] = sym
+	if len(c.syms) > symbolicCacheCap {
+		c.syms = c.syms[:symbolicCacheCap]
+	}
+}
+
+// refactorOn runs the auto-selected numeric kernel for a on sym, through
+// slot's preallocated storage when one is given.
+func refactorOn(sym *Symbolic, a *CSC, slot *FactorSlot) (*LUFactors, error) {
+	if slot != nil {
+		if slot.sym != sym {
+			slot.bind(sym)
+		}
+		if err := sym.refactorAutoInto(slot.f, slot.ws, a); err != nil {
+			return nil, err
+		}
+		return slot.f, nil
+	}
+	return sym.refactorAuto(a)
+}
+
+// perm resolves the column ordering for a through the shared
+// OrderingCache when one is attached.
+func (c *SymbolicCache) perm(a *CSC) []int {
 	if c.oc != nil {
-		q = c.oc.Perm(a)
-	} else {
-		q = permFor(a, c.ord)
+		return c.oc.Perm(a)
 	}
-	sym2, f, err := AnalyzePerm(a, q, c.tol)
-	if err != nil {
-		return nil, err
-	}
+	return permFor(a, c.ord)
+}
+
+func (c *SymbolicCache) countAnalysis() {
 	c.mu.Lock()
 	c.stats.Analyses++
 	if c.oc == nil {
 		c.stats.Orderings++
 	}
-	// Replace the stale entry for this pattern if one exists, else insert
-	// in MRU position, evicting the oldest beyond the cap.
-	replaced := false
-	for i, s := range c.syms {
-		if s.PatternMatches(a) {
-			copy(c.syms[1:i+1], c.syms[:i])
-			c.syms[0] = sym2
-			replaced = true
-			break
-		}
-	}
-	if !replaced {
-		c.syms = append(c.syms, nil)
-		copy(c.syms[1:], c.syms)
-		c.syms[0] = sym2
-		if len(c.syms) > symbolicCacheCap {
-			c.syms = c.syms[:symbolicCacheCap]
-		}
-	}
 	c.mu.Unlock()
+}
+
+// analyzeValue analyzes a with its real values choosing the pivots, and
+// caches the result locally (never in a shared parent: value-derived
+// pivot sequences would make one stream's results depend on another's
+// values).
+func (c *SymbolicCache) analyzeValue(a *CSC, slot *FactorSlot) (*LUFactors, error) {
+	sym, f, err := AnalyzePerm(a, c.perm(a), c.tol)
+	if err != nil {
+		return nil, err
+	}
+	c.countAnalysis()
+	c.insert(sym, a)
+	if slot != nil {
+		// Bind the slot for the refactorizations that follow; the
+		// analyzing factors themselves are freshly allocated.
+		slot.bind(sym)
+	}
 	return f, nil
+}
+
+// analyzeShaped analyzes the pattern-derived pivot surrogate, then
+// numerically refactors a on the shaped symbolic. The returned bool
+// reports whether the surrogate analysis itself succeeded — when it did
+// but a's values reject the shaped pivots, the caller counts a fallback
+// before re-analyzing with value pivoting. Shaped symbolics are
+// pattern-pure, so successful ones are published to the shared parent.
+func (c *SymbolicCache) analyzeShaped(a *CSC, slot *FactorSlot) (*LUFactors, bool, error) {
+	sym, _, err := AnalyzePerm(pivotSurrogate(a), c.perm(a), c.tol)
+	if err != nil {
+		return nil, false, err
+	}
+	sym.boost = true
+	c.countAnalysis()
+	f, err := refactorOn(sym, a, slot)
+	if err != nil {
+		return nil, true, err
+	}
+	if c.parent != nil {
+		c.parent.insert(sym, a)
+	}
+	c.insert(sym, a)
+	return f, true, nil
 }
 
 // SolveRefactored is a convenience for the common refactor-and-solve
