@@ -66,6 +66,7 @@ func main() {
 	maxBatch := flag.Int("max-batch", 16, "max requests coalesced into one micro-batch")
 	window := flag.Duration("batch-window", 2*time.Millisecond, "how long to wait for requests to coalesce (negative = no wait)")
 	queue := flag.Int("queue", 256, "pending-request bound (full queue answers 503)")
+	solverThreads := flag.Int("solver-threads", 0, "threads per KKT factorization/solve, capped by the worker budget (0 = PGSIM_SOLVER_THREADS or 1)")
 	flag.Parse()
 	batch.SetDefaultWorkers(*workers)
 
@@ -83,10 +84,11 @@ func main() {
 	}
 
 	srv := serve.New(serve.Config{
-		Workers:     *workers,
-		MaxBatch:    *maxBatch,
-		BatchWindow: *window,
-		QueueDepth:  *queue,
+		Workers:       *workers,
+		MaxBatch:      *maxBatch,
+		BatchWindow:   *window,
+		QueueDepth:    *queue,
+		SolverThreads: *solverThreads,
 	})
 	for _, sys := range loaded {
 		m, err := modelFor(sys, models, variant, *trainN, *epochs, *seed)

@@ -1,0 +1,116 @@
+package mips_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/grid"
+	"repro/internal/mips"
+	"repro/internal/opf"
+)
+
+// This file pins the determinism contract of intra-solve parallelism
+// (DESIGN.md §12) at the full-solver level: a Stepper forced to any
+// thread count must walk the exact iterate sequence of the serial
+// solver — same KKT matrices, same factors, same steps — so the final
+// X/Lam/Mu/Z vectors are bit-identical and the iteration count equal.
+// The sparse package pins the factor/solve kernels on synthetic and
+// fleet KKT matrices; here the sharded KKT assembly, the stamped
+// reduction, and the threaded factor slot run together on real AC-OPF
+// solves. SetThreads is the seam: SolverThreads clamps production
+// requests to GOMAXPROCS, which on a single-core host would silently
+// reduce every case to serial.
+
+// solveWithThreads runs a full solve of c at the given thread count and
+// returns the result.
+func solveWithThreads(tb testing.TB, c *grid.Case, threads int) *mips.Result {
+	tb.Helper()
+	o := opf.Prepare(c)
+	s := mips.NewStepper(o.Problem(), o.DefaultStart(), nil, mips.Options{})
+	s.SetThreads(threads)
+	for i := 0; ; i++ {
+		done, err := s.Step()
+		if done {
+			if err != nil {
+				tb.Fatalf("solve with %d threads failed: %v", threads, err)
+			}
+			return s.Result()
+		}
+		if i > 500 {
+			tb.Fatalf("solve with %d threads did not terminate", threads)
+		}
+	}
+}
+
+func bitsEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestParallelSolveBitIdentical compares full solves at 2/4/8 threads
+// against the serial solve, bitwise.
+func TestParallelSolveBitIdentical(t *testing.T) {
+	for _, c := range []*grid.Case{grid.Case30(), grid.Case118()} {
+		t.Run(c.Name, func(t *testing.T) {
+			ref := solveWithThreads(t, c, 1)
+			if !ref.Converged {
+				t.Fatalf("serial solve did not converge")
+			}
+			for _, threads := range []int{2, 4, 8} {
+				got := solveWithThreads(t, c, threads)
+				if got.Iterations != ref.Iterations {
+					t.Errorf("threads=%d: %d iterations, serial took %d",
+						threads, got.Iterations, ref.Iterations)
+				}
+				if math.Float64bits(got.F) != math.Float64bits(ref.F) {
+					t.Errorf("threads=%d: objective %v, serial %v", threads, got.F, ref.F)
+				}
+				for _, v := range []struct {
+					name     string
+					got, ref []float64
+				}{
+					{"X", got.X, ref.X},
+					{"Lam", got.Lam, ref.Lam},
+					{"Mu", got.Mu, ref.Mu},
+					{"Z", got.Z, ref.Z},
+				} {
+					if !bitsEqual(v.got, v.ref) {
+						t.Errorf("threads=%d: %s differs from serial", threads, v.name)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestWarmStepAllocsZeroParallel is the parallel twin of
+// TestWarmStepAllocsZero: with sharded KKT assembly and the threaded
+// factor slot active, a warm iteration must still perform zero heap
+// allocations — shards write into preallocated arena slices and the
+// fork-join runners reuse their bookkeeping.
+func TestWarmStepAllocsZeroParallel(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under -race")
+	}
+	s := warmStepper(t, grid.Case118(), 2)
+	s.SetThreads(4)
+	for i := 0; i < 60; i++ {
+		if done, err := s.Step(); done {
+			t.Fatalf("stepper finished during warm-up: %v", err)
+		}
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		if done, err := s.Step(); done {
+			t.Fatalf("stepper finished mid-measurement: %v", err)
+		}
+	}); n != 0 {
+		t.Errorf("warm parallel Step allocates %v times per iteration, want 0", n)
+	}
+}

@@ -240,7 +240,7 @@ type kktStat struct {
 
 // render writes every metric in Prometheus text exposition format, with
 // deterministic (sorted) label ordering.
-func (m *metrics) render(w io.Writer, queueDepth int, kkt []kktStat) {
+func (m *metrics) render(w io.Writer, queueDepth, solverThreads int, kkt []kktStat) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 
@@ -380,6 +380,10 @@ func (m *metrics) render(w io.Writer, queueDepth int, kkt []kktStat) {
 	fmt.Fprintln(w, "# HELP pgsimd_queue_depth Requests waiting for the dispatcher.")
 	fmt.Fprintln(w, "# TYPE pgsimd_queue_depth gauge")
 	fmt.Fprintf(w, "pgsimd_queue_depth %d\n", queueDepth)
+
+	fmt.Fprintln(w, "# HELP pgsimd_solver_threads Resolved intra-solve parallelism per KKT factorization (before the per-solve worker-budget cap).")
+	fmt.Fprintln(w, "# TYPE pgsimd_solver_threads gauge")
+	fmt.Fprintf(w, "pgsimd_solver_threads %d\n", solverThreads)
 
 	fmt.Fprintln(w, "# HELP pgsimd_uptime_seconds Seconds since the server started.")
 	fmt.Fprintln(w, "# TYPE pgsimd_uptime_seconds gauge")

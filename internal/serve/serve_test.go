@@ -379,6 +379,7 @@ func TestSystemsHealthMetrics(t *testing.T) {
 		"pgsimd_solve_latency_seconds_count",
 		"pgsimd_batch_size_count 1",
 		"pgsimd_queue_depth 0",
+		"pgsimd_solver_threads ",
 		`pgsimd_http_requests_total{endpoint="/v1/solve",code="200"} 1`,
 		`pgsimd_kkt_symbolic_analyses_total{system="case9"}`,
 		`pgsimd_kkt_numeric_refactors_total{system="case9"}`,

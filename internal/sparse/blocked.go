@@ -303,6 +303,67 @@ func (s *Symbolic) clearColumn(x []float64, li []int, k int) {
 	}
 }
 
+// refactorColumn runs destination column k of the scalar kernel —
+// gather, ordered consumption, pivot check, L/U write — against the
+// workspace accumulator x (all-zero on entry, restored on every exit
+// path). It is the unit of work the parallel task scheduler dispatches:
+// a column computed here is the same instruction sequence at any thread
+// count, which is what makes the parallel kernel bit-identical to the
+// serial one.
+func (s *Symbolic) refactorColumn(f *LUFactors, x []float64, a *CSC, k int) error {
+	col := s.q[k]
+	for p := a.ColPtr[col]; p < a.ColPtr[col+1]; p++ {
+		x[s.pinv[a.RowIdx[p]]] = a.Val[p]
+	}
+	d := s.up[k+1] - 1
+	for p := s.up[k]; p < d; p++ {
+		j := s.ui[p]
+		xj := x[j]
+		f.ux[p] = xj
+		x[j] = 0
+		if xj == 0 {
+			continue
+		}
+		for pl := s.lp[j] + 1; pl < s.lp[j+1]; pl++ {
+			x[s.li[pl]] -= f.lx[pl] * xj
+		}
+	}
+	pivot := x[k]
+	apiv := math.Abs(pivot)
+	amax := apiv
+	for p := s.lp[k] + 1; p < s.lp[k+1]; p++ {
+		if t := math.Abs(x[s.li[p]]); t > amax {
+			amax = t
+		}
+	}
+	if math.IsNaN(pivot) || amax == 0 {
+		s.clearColumn(x, s.li, k)
+		return ErrSingular
+	}
+	if s.boost {
+		if apiv < boostPivotRel*amax {
+			// Static pivot perturbation: keep the shaped diagonal
+			// sequence, bound the growth (see boostPivotRel).
+			pivot = math.Copysign(boostPivotRel*amax, pivot)
+		}
+	} else if pivot == 0 {
+		s.clearColumn(x, s.li, k)
+		return ErrSingular
+	} else if apiv < refactorPivotFloor*amax {
+		s.clearColumn(x, s.li, k)
+		return ErrRefactorUnstable
+	}
+	x[k] = 0
+	f.ux[d] = pivot
+	f.lx[s.lp[k]] = 1
+	for p := s.lp[k] + 1; p < s.lp[k+1]; p++ {
+		i := s.li[p]
+		f.lx[p] = x[i] / pivot
+		x[i] = 0
+	}
+	return nil
+}
+
 // RefactorInto is Refactor writing into preallocated factors with an
 // external workspace: zero allocations per call. f is rebound to the
 // symbolic structure; ws must come from NewRefactorWorkspace. The
@@ -315,55 +376,8 @@ func (s *Symbolic) RefactorInto(f *LUFactors, ws *RefactorWorkspace, a *CSC) err
 	n := s.n
 	x := ws.x
 	for k := 0; k < n; k++ {
-		col := s.q[k]
-		for p := a.ColPtr[col]; p < a.ColPtr[col+1]; p++ {
-			x[s.pinv[a.RowIdx[p]]] = a.Val[p]
-		}
-		d := s.up[k+1] - 1
-		for p := s.up[k]; p < d; p++ {
-			j := s.ui[p]
-			xj := x[j]
-			f.ux[p] = xj
-			x[j] = 0
-			if xj == 0 {
-				continue
-			}
-			for pl := s.lp[j] + 1; pl < s.lp[j+1]; pl++ {
-				x[s.li[pl]] -= f.lx[pl] * xj
-			}
-		}
-		pivot := x[k]
-		apiv := math.Abs(pivot)
-		amax := apiv
-		for p := s.lp[k] + 1; p < s.lp[k+1]; p++ {
-			if t := math.Abs(x[s.li[p]]); t > amax {
-				amax = t
-			}
-		}
-		if math.IsNaN(pivot) || amax == 0 {
-			s.clearColumn(x, s.li, k)
-			return ErrSingular
-		}
-		if s.boost {
-			if apiv < boostPivotRel*amax {
-				// Static pivot perturbation: keep the shaped diagonal
-				// sequence, bound the growth (see boostPivotRel).
-				pivot = math.Copysign(boostPivotRel*amax, pivot)
-			}
-		} else if pivot == 0 {
-			s.clearColumn(x, s.li, k)
-			return ErrSingular
-		} else if apiv < refactorPivotFloor*amax {
-			s.clearColumn(x, s.li, k)
-			return ErrRefactorUnstable
-		}
-		x[k] = 0
-		f.ux[d] = pivot
-		f.lx[s.lp[k]] = 1
-		for p := s.lp[k] + 1; p < s.lp[k+1]; p++ {
-			i := s.li[p]
-			f.lx[p] = x[i] / pivot
-			x[i] = 0
+		if err := s.refactorColumn(f, x, a, k); err != nil {
+			return err
 		}
 	}
 	return nil
@@ -391,8 +405,23 @@ func (s *Symbolic) RefactorBlockedInto(f *LUFactors, ws *RefactorWorkspace, a *C
 	b := s.blocked()
 	s.bindFactors(f, b.bli)
 	n := s.n
-	x := ws.x
 	for k := 0; k < n; k++ {
+		if err := s.refactorColumnBlocked(f, ws, a, b, k); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// refactorColumnBlocked runs destination column k of the blocked
+// kernel: gather, program consumption (scalar ops and panel groups),
+// pivot check, L/U write. Like refactorColumn it is the parallel
+// scheduler's unit of work — the same instruction sequence at any
+// thread count, so the parallel blocked kernel is bit-identical to the
+// single-threaded one.
+func (s *Symbolic) refactorColumnBlocked(f *LUFactors, ws *RefactorWorkspace, a *CSC, b *blockedSchedule, k int) error {
+	x := ws.x
+	{
 		col := s.q[k]
 		for p := a.ColPtr[col]; p < a.ColPtr[col+1]; p++ {
 			x[s.pinv[a.RowIdx[p]]] = a.Val[p]

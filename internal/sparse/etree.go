@@ -1,0 +1,357 @@
+package sparse
+
+// This file builds the parallel execution schedule of a Symbolic: the
+// task DAG that drives the parallel refactorization and the level
+// schedules that drive the parallel triangular solves. Like the blocked
+// schedule it is a pure function of the frozen pattern, built lazily
+// and cached on the Symbolic, so a benign build race stores identical
+// schedules.
+//
+// The factor DAG's tasks are the supernodes of the blocked schedule
+// (width-1 supernodes included, so the same DAG serves the scalar
+// kernel). Task T precedes task S when some member column of S consumes
+// an L column owned by T — exactly the U-pattern dependencies of the
+// left-looking sweep, read off the stored (topologically ordered) U
+// columns. A task executes its member columns in order on one worker
+// using the same per-column kernel as the serial sweep, so any
+// dependency-respecting execution produces bit-identical factors.
+//
+// The solve schedules re-express the push-based serial triangular
+// sweeps as row-pulls: row i's final value is a fixed sequence of
+// subtractions from already-final source rows, in ascending source
+// order for the forward sweep and descending for the backward sweep —
+// the same per-row arithmetic the serial sweep performs. Rows are
+// levelized over the elimination dependencies (lvl[i] = 1 + max over
+// source rows); wide levels run as parallel segments, narrow ones fuse
+// into serial sweep segments.
+
+const (
+	// parMinLevelRows is the minimum level width run as a parallel solve
+	// segment; narrower levels fuse into serial segments (the per-row
+	// work is a handful of flops — below this width the segment barrier
+	// costs more than the parallelism recovers).
+	parMinLevelRows = 128
+	// parMinParFrac is the minimum fraction of solve nnz inside parallel
+	// segments for the parallel solve to be worth its barriers.
+	parMinParFrac = 0.30
+)
+
+// solveSched is one triangular sweep re-expressed for level-scheduled
+// row-pull execution.
+type solveSched struct {
+	// Row-pull structure: entries of row i at rowPtr[i]:rowPtr[i+1],
+	// source column in col, value position (into lx or ux) in pos.
+	// Entries are in ascending source order; the backward sweep
+	// iterates them reversed.
+	rowPtr []int32
+	col    []int32
+	pos    []int32
+
+	// Execution plan: order lists rows segment by segment
+	// (segPtr[s]:segPtr[s+1]); rows of a parallel segment are mutually
+	// independent, serial segments are swept in stored order by one
+	// worker. chunks[s] is the chunk count of segment s (1 for serial).
+	order     []int32
+	segPtr    []int32
+	chunkRows []int32 // rows per chunk of each segment
+	chunks    []int32
+	use       bool
+}
+
+// parSched is the cached parallel plan of a Symbolic.
+type parSched struct {
+	li      []int // row backing the auto kernel binds (bli or s.li)
+	blocked bool  // auto kernel is the blocked one
+
+	// Factor task DAG over supernodes.
+	nTasks  int
+	snStart []int
+	snEnd   []int
+	succPtr []int32
+	succ    []int32
+	npred   []int32
+	roots   []int32
+	use     bool
+
+	fwd, bwd solveSched
+}
+
+func (s *Symbolic) parallel() *parSched {
+	if p := s.par.Load(); p != nil {
+		return p
+	}
+	// Benign race: concurrent builders compute identical schedules
+	// from the immutable pattern; first store wins.
+	s.par.CompareAndSwap(nil, s.buildParSched())
+	return s.par.Load()
+}
+
+func (s *Symbolic) buildParSched() *parSched {
+	b := s.blocked()
+	p := &parSched{blocked: b.use, snStart: b.snStart, snEnd: b.snEnd}
+	if b.use {
+		p.li = b.bli
+	} else {
+		p.li = s.li
+	}
+	p.buildDAG(s, b)
+	p.fwd.buildForward(s, p.li)
+	p.bwd.buildBackward(s)
+	// The auto heuristic: parallelism only pays on systems the blocked
+	// threshold already marks as large; below it the task-queue
+	// bookkeeping dwarfs the per-column work.
+	p.use = s.n >= blockedMinN && p.nTasks > 1
+	return p
+}
+
+// buildDAG derives the supernode task DAG from the stored U patterns.
+func (p *parSched) buildDAG(s *Symbolic, b *blockedSchedule) {
+	nTasks := len(b.snStart)
+	p.nTasks = nTasks
+	p.npred = make([]int32, nTasks)
+	cnt := make([]int32, nTasks)
+	lastEdge := make([]int32, nTasks)
+	for i := range lastEdge {
+		lastEdge[i] = -1
+	}
+	// Pass 1: count deduplicated edges t -> me.
+	for k := 0; k < s.n; k++ {
+		me := int32(b.snOf[k])
+		d := s.up[k+1] - 1
+		for q := s.up[k]; q < d; q++ {
+			t := b.snOf[s.ui[q]]
+			if int32(t) != me && lastEdge[t] != me {
+				lastEdge[t] = me
+				cnt[t]++
+				p.npred[me]++
+			}
+		}
+	}
+	p.succPtr = make([]int32, nTasks+1)
+	for t := 0; t < nTasks; t++ {
+		p.succPtr[t+1] = p.succPtr[t] + cnt[t]
+	}
+	p.succ = make([]int32, p.succPtr[nTasks])
+	fill := make([]int32, nTasks)
+	copy(fill, p.succPtr[:nTasks])
+	for i := range lastEdge {
+		lastEdge[i] = -1
+	}
+	// Pass 2: fill successor lists.
+	for k := 0; k < s.n; k++ {
+		me := int32(b.snOf[k])
+		d := s.up[k+1] - 1
+		for q := s.up[k]; q < d; q++ {
+			t := b.snOf[s.ui[q]]
+			if int32(t) != me && lastEdge[t] != me {
+				lastEdge[t] = me
+				p.succ[fill[t]] = me
+				fill[t]++
+			}
+		}
+	}
+	for t := 0; t < nTasks; t++ {
+		if p.npred[t] == 0 {
+			p.roots = append(p.roots, int32(t))
+		}
+	}
+}
+
+// buildForward builds the L row-pull structure and level plan. li is
+// the row backing the auto kernel binds into factors (bli when the
+// blocked kernel is selected), so positions line up with f.lx.
+func (d *solveSched) buildForward(s *Symbolic, li []int) {
+	n := s.n
+	d.rowPtr = make([]int32, n+1)
+	for k := 0; k < n; k++ {
+		for q := s.lp[k] + 1; q < s.lp[k+1]; q++ {
+			d.rowPtr[li[q]+1]++
+		}
+	}
+	for i := 0; i < n; i++ {
+		d.rowPtr[i+1] += d.rowPtr[i]
+	}
+	nnz := d.rowPtr[n]
+	d.col = make([]int32, nnz)
+	d.pos = make([]int32, nnz)
+	fill := make([]int32, n)
+	copy(fill, d.rowPtr[:n])
+	for k := 0; k < n; k++ {
+		for q := s.lp[k] + 1; q < s.lp[k+1]; q++ {
+			r := li[q]
+			d.col[fill[r]] = int32(k)
+			d.pos[fill[r]] = int32(q)
+			fill[r]++
+		}
+	}
+	// Levels: sources are strictly smaller rows, so one ascending pass.
+	lvl := make([]int32, n)
+	maxLvl := int32(0)
+	for i := 0; i < n; i++ {
+		m := int32(-1)
+		for e := d.rowPtr[i]; e < d.rowPtr[i+1]; e++ {
+			if l := lvl[d.col[e]]; l > m {
+				m = l
+			}
+		}
+		lvl[i] = m + 1
+		if lvl[i] > maxLvl {
+			maxLvl = lvl[i]
+		}
+	}
+	// Forward rows with no incoming entries need no work at all: mark
+	// them out of the plan.
+	d.buildPlan(n, int(maxLvl), func(i int) int32 {
+		if d.rowPtr[i] == d.rowPtr[i+1] {
+			return -1
+		}
+		return lvl[i]
+	}, false)
+	d.decideUse()
+}
+
+// buildBackward builds the U row-pull structure and level plan. U rows
+// are in pivot coordinates already; every row carries the final
+// division, so all rows enter the plan.
+func (d *solveSched) buildBackward(s *Symbolic) {
+	n := s.n
+	d.rowPtr = make([]int32, n+1)
+	for k := 0; k < n; k++ {
+		dd := s.up[k+1] - 1
+		for q := s.up[k]; q < dd; q++ {
+			d.rowPtr[s.ui[q]+1]++
+		}
+	}
+	for i := 0; i < n; i++ {
+		d.rowPtr[i+1] += d.rowPtr[i]
+	}
+	nnz := d.rowPtr[n]
+	d.col = make([]int32, nnz)
+	d.pos = make([]int32, nnz)
+	fill := make([]int32, n)
+	copy(fill, d.rowPtr[:n])
+	for k := 0; k < n; k++ {
+		dd := s.up[k+1] - 1
+		for q := s.up[k]; q < dd; q++ {
+			r := s.ui[q]
+			d.col[fill[r]] = int32(k)
+			d.pos[fill[r]] = int32(q)
+			fill[r]++
+		}
+	}
+	lvl := make([]int32, n)
+	maxLvl := int32(0)
+	for i := n - 1; i >= 0; i-- {
+		m := int32(-1)
+		for e := d.rowPtr[i]; e < d.rowPtr[i+1]; e++ {
+			if l := lvl[d.col[e]]; l > m {
+				m = l
+			}
+		}
+		lvl[i] = m + 1
+		if lvl[i] > maxLvl {
+			maxLvl = lvl[i]
+		}
+	}
+	d.buildPlan(n, int(maxLvl), func(i int) int32 { return lvl[i] }, true)
+	d.decideUse()
+}
+
+// buildPlan groups rows by level into segments: levels at least
+// parMinLevelRows wide become parallel segments, narrower ones fuse
+// into serial sweeps. Row order within the plan is ascending for the
+// forward sweep and descending for the backward one (desc=true) — a
+// topological order for the fused serial segments either way. levelOf
+// returns -1 for rows excluded from the plan.
+func (d *solveSched) buildPlan(n, maxLvl int, levelOf func(int) int32, desc bool) {
+	count := make([]int32, maxLvl+2)
+	for i := 0; i < n; i++ {
+		if l := levelOf(i); l >= 0 {
+			count[l+1]++
+		}
+	}
+	for l := 0; l <= maxLvl; l++ {
+		count[l+1] += count[l]
+	}
+	total := count[maxLvl+1]
+	d.order = make([]int32, total)
+	fill := make([]int32, maxLvl+1)
+	copy(fill, count[:maxLvl+1])
+	if desc {
+		for i := n - 1; i >= 0; i-- {
+			if l := levelOf(i); l >= 0 {
+				d.order[fill[l]] = int32(i)
+				fill[l]++
+			}
+		}
+	} else {
+		for i := 0; i < n; i++ {
+			if l := levelOf(i); l >= 0 {
+				d.order[fill[l]] = int32(i)
+				fill[l]++
+			}
+		}
+	}
+	d.segPtr = d.segPtr[:0]
+	d.segPtr = append(d.segPtr, 0)
+	d.chunks = d.chunks[:0]
+	d.chunkRows = d.chunkRows[:0]
+	serialOpen := false
+	for l := 0; l <= maxLvl; l++ {
+		lo, hi := count[l], count[l+1]
+		w := hi - lo
+		if w == 0 {
+			continue
+		}
+		if w >= parMinLevelRows {
+			if serialOpen {
+				d.closeSegment(lo, 1)
+				serialOpen = false
+			}
+			d.closeSegment(hi, 0)
+			continue
+		}
+		serialOpen = true
+	}
+	if serialOpen {
+		d.closeSegment(total, 1)
+	}
+}
+
+// closeSegment ends the current segment at row-offset end. chunks=1
+// marks a serial sweep; 0 asks for parallel chunking.
+func (d *solveSched) closeSegment(end, chunks int32) {
+	start := d.segPtr[len(d.segPtr)-1]
+	rows := end - start
+	if rows == 0 {
+		return
+	}
+	cr := rows
+	if chunks == 0 {
+		// Parallel segment: fixed-size chunks claimed dynamically; the
+		// chunk size balances claim traffic against tail imbalance.
+		cr = 64
+		chunks = (rows + cr - 1) / cr
+	}
+	d.segPtr = append(d.segPtr, end)
+	d.chunks = append(d.chunks, chunks)
+	d.chunkRows = append(d.chunkRows, cr)
+}
+
+// decideUse turns the parallel solve on only when enough of the sweep's
+// nnz sits inside parallel segments to amortize the segment barriers.
+func (d *solveSched) decideUse() {
+	var par, tot int64
+	for s := 0; s < len(d.chunks); s++ {
+		lo, hi := d.segPtr[s], d.segPtr[s+1]
+		var nnz int64
+		for _, i := range d.order[lo:hi] {
+			nnz += int64(d.rowPtr[i+1] - d.rowPtr[i])
+		}
+		tot += nnz
+		if d.chunks[s] > 1 {
+			par += nnz
+		}
+	}
+	d.use = tot > 0 && float64(par) >= parMinParFrac*float64(tot)
+}

@@ -1,0 +1,415 @@
+package sparse
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/la"
+)
+
+// This file executes the parallel schedules of etree.go: the factor
+// task DAG on a bounded set of participants (the calling goroutine plus
+// up to threads-1 pool helpers) and the level-scheduled triangular
+// solves. Determinism never depends on scheduling: every destination
+// column is computed whole by one participant running the serial
+// per-column kernel, and every solve row is pulled by one participant
+// in the serial sweep's per-row order, so results are bit-identical to
+// the single-threaded kernels at every thread count.
+
+const (
+	phaseFactor = iota
+	phaseSolve
+)
+
+// solveSeg is one executable segment of a solve plan: a row range of
+// its schedule's order array, chunked for dynamic claiming (serial
+// segments are a single chunk, so exactly one participant sweeps them).
+type solveSeg struct {
+	d      *solveSched
+	lo, hi int32
+	chunks int32
+	cr     int32
+	back   bool
+}
+
+// parRunner owns the reusable run state of one FactorSlot's parallel
+// kernels. All storage is preallocated at build, so steady-state
+// parallel refactor/solve runs allocate nothing.
+type parRunner struct {
+	s       *Symbolic
+	sched   *parSched
+	threads int
+
+	mu   sync.Mutex
+	cond *sync.Cond
+	// curEpoch identifies the active run; helpers holding a stale epoch
+	// bail without touching run state. joined counts helpers currently
+	// inside a participant loop and running marks an active run: a run
+	// only ends once joined drains to zero, and joins require running,
+	// so a stalled helper can never claim work from a later run's reset
+	// counters. All guarded by mu.
+	curEpoch uint64
+	phase    int // read once per helper at join
+	joined   int
+	running  bool
+
+	idSeq atomic.Int32         // participant id allocator, reset per run
+	wss   []*RefactorWorkspace // per-participant factor workspaces
+
+	// Current run inputs (set by the owner before helpers join).
+	f *LUFactors
+	a *CSC
+	y []float64
+
+	// Factor DAG state. pred/bad/ready/outstanding/err* guarded by mu.
+	pred        []int32
+	bad         []bool
+	ready       []int32
+	head        int
+	outstanding int
+	errCol      int
+	errRun      error
+
+	// Solve state: the segment list and per-segment chunk claim /
+	// remaining counters (atomics, reset by the owner per run).
+	segs     []solveSeg
+	segChunk []int32
+	segLeft  []int32
+}
+
+func newParRunner(s *Symbolic, threads int) *parRunner {
+	p := s.parallel()
+	r := &parRunner{s: s, sched: p, threads: threads}
+	r.cond = sync.NewCond(&r.mu)
+	r.wss = make([]*RefactorWorkspace, threads)
+	for i := range r.wss {
+		r.wss[i] = s.NewRefactorWorkspace()
+	}
+	r.pred = make([]int32, p.nTasks)
+	r.bad = make([]bool, p.nTasks)
+	r.ready = make([]int32, 0, p.nTasks)
+	r.buildSolveSegs(&p.fwd, false)
+	r.buildSolveSegs(&p.bwd, true)
+	r.segChunk = make([]int32, len(r.segs))
+	r.segLeft = make([]int32, len(r.segs))
+	return r
+}
+
+// buildSolveSegs appends one direction's execution segments. A
+// direction whose plan is not worth its barriers still runs through the
+// segment machinery — as a single serial sweep, which costs what the
+// serial kernel costs while keeping the participants in lockstep.
+func (r *parRunner) buildSolveSegs(d *solveSched, back bool) {
+	if d.use {
+		for i := 0; i < len(d.chunks); i++ {
+			r.segs = append(r.segs, solveSeg{
+				d: d, lo: d.segPtr[i], hi: d.segPtr[i+1],
+				chunks: d.chunks[i], cr: d.chunkRows[i], back: back,
+			})
+		}
+		return
+	}
+	total := int32(len(d.order))
+	r.segs = append(r.segs, solveSeg{d: d, lo: 0, hi: total, chunks: 1, cr: total, back: back})
+}
+
+// help is the pool entry point: join the runner's current parallel
+// region if the invitation is still current and a participant id is
+// free.
+func (r *parRunner) help(epoch uint64) {
+	r.mu.Lock()
+	if r.curEpoch != epoch || !r.running {
+		r.mu.Unlock()
+		return
+	}
+	ph := r.phase
+	r.joined++
+	r.mu.Unlock()
+	if id := int(r.idSeq.Add(1)); id < r.threads {
+		if ph == phaseFactor {
+			r.factorLoop(r.wss[id], epoch)
+		} else {
+			r.solveLoop(epoch)
+		}
+	}
+	r.mu.Lock()
+	r.joined--
+	if r.joined == 0 {
+		r.cond.Broadcast()
+	}
+	r.mu.Unlock()
+}
+
+// refactorParallel runs the auto-selected kernel over the task DAG.
+// Called from refactorOn once the slot is bound and threads > 1.
+func (sl *FactorSlot) refactorParallel(a *CSC) error {
+	s := sl.sym
+	if !s.PatternMatches(a) {
+		return ErrPatternChanged
+	}
+	p := s.parallel()
+	if sl.pr == nil || sl.pr.threads != sl.threads {
+		sl.pr = newParRunner(s, sl.threads)
+	}
+	s.bindFactors(sl.f, p.li)
+	return sl.pr.runFactor(sl.f, a)
+}
+
+func (r *parRunner) runFactor(f *LUFactors, a *CSC) error {
+	p := r.sched
+	r.mu.Lock()
+	r.f, r.a = f, a
+	copy(r.pred, p.npred)
+	for i := range r.bad {
+		r.bad[i] = false
+	}
+	r.ready = append(r.ready[:0], p.roots...)
+	r.head = 0
+	r.outstanding = p.nTasks
+	r.errCol = -1
+	r.errRun = nil
+	r.phase = phaseFactor
+	r.idSeq.Store(0)
+	r.curEpoch++
+	r.running = true
+	epoch := r.curEpoch
+	r.mu.Unlock()
+	poolSubmit(r, epoch, r.threads-1)
+	r.factorLoop(r.wss[0], epoch)
+	r.mu.Lock()
+	r.running = false
+	for r.joined > 0 {
+		r.cond.Wait()
+	}
+	err := r.errRun
+	r.mu.Unlock()
+	return err
+}
+
+// factorLoop is the participant body of a factor run: pop ready tasks
+// and execute them until the run drains. The owner's call returns only
+// when every task has completed or been skipped.
+func (r *parRunner) factorLoop(ws *RefactorWorkspace, epoch uint64) {
+	for {
+		r.mu.Lock()
+		for r.curEpoch == epoch && r.outstanding > 0 && r.head == len(r.ready) {
+			r.cond.Wait()
+		}
+		if r.curEpoch != epoch || r.outstanding == 0 {
+			r.mu.Unlock()
+			return
+		}
+		t := int(r.ready[r.head])
+		r.head++
+		skip := r.bad[t]
+		r.mu.Unlock()
+		r.execTask(t, ws, skip)
+	}
+}
+
+// execTask runs one supernode's member columns in order with the serial
+// per-column kernel, then releases its successors. Failures propagate:
+// dependents of a failed (or skipped) task are skipped, every
+// independent task still runs, and the recorded error is the one the
+// smallest failing column produced — provably the error the serial
+// sweep would have returned, since each column's arithmetic is
+// identical given identical dependency values.
+func (r *parRunner) execTask(t int, ws *RefactorWorkspace, skip bool) {
+	p := r.sched
+	failed := skip
+	var err error
+	errK := -1
+	if !failed {
+		b := r.s.blocked()
+		for k := p.snStart[t]; k <= p.snEnd[t]; k++ {
+			var e error
+			if p.blocked {
+				e = r.s.refactorColumnBlocked(r.f, ws, r.a, b, k)
+			} else {
+				e = r.s.refactorColumn(r.f, ws.x, r.a, k)
+			}
+			if e != nil {
+				failed, err, errK = true, e, k
+				break
+			}
+		}
+	}
+	r.mu.Lock()
+	if err != nil && (r.errCol < 0 || errK < r.errCol) {
+		r.errCol, r.errRun = errK, err
+	}
+	pushed := 0
+	for _, sc := range p.succ[p.succPtr[t]:p.succPtr[t+1]] {
+		if failed {
+			r.bad[sc] = true
+		}
+		r.pred[sc]--
+		if r.pred[sc] == 0 {
+			r.ready = append(r.ready, sc)
+			pushed++
+		}
+	}
+	r.outstanding--
+	if r.outstanding == 0 {
+		r.cond.Broadcast()
+	} else {
+		for i := 0; i < pushed; i++ {
+			r.cond.Signal()
+		}
+	}
+	r.mu.Unlock()
+}
+
+// SolveInto solves A·x = b with factors produced through this slot,
+// using the level-scheduled parallel sweeps when the slot's thread
+// setting and the pattern's schedule enable them, and the serial kernel
+// otherwise. Results are bit-identical either way. f must be the
+// factors the slot's last FactorizeInto returned; foreign factors (or a
+// serial slot) fall through to LUFactors.SolveInto unchanged.
+func (sl *FactorSlot) SolveInto(f *LUFactors, dst, b, work la.Vector) {
+	if f != sl.f || sl.threads < 2 || sl.sym == nil {
+		f.SolveInto(dst, b, work)
+		return
+	}
+	p := sl.sym.parallel()
+	if !p.use || (!p.fwd.use && !p.bwd.use) ||
+		len(f.li) == 0 || &f.li[0] != &p.li[0] {
+		f.SolveInto(dst, b, work)
+		return
+	}
+	if sl.pr == nil || sl.pr.threads != sl.threads {
+		sl.pr = newParRunner(sl.sym, sl.threads)
+	}
+	sl.pr.runSolve(f, dst, b, work)
+}
+
+func (r *parRunner) runSolve(f *LUFactors, dst, b, work la.Vector) {
+	n := f.n
+	if len(b) != n || len(dst) != n || len(work) != n {
+		panic("sparse: LU SolveInto length mismatch")
+	}
+	y := work
+	for i := 0; i < n; i++ {
+		y[f.pinv[i]] = b[i]
+	}
+	r.mu.Lock()
+	r.f = f
+	r.y = y
+	for i := range r.segs {
+		r.segChunk[i] = 0
+		r.segLeft[i] = r.segs[i].chunks
+	}
+	r.phase = phaseSolve
+	r.idSeq.Store(0)
+	r.curEpoch++
+	r.running = true
+	epoch := r.curEpoch
+	r.mu.Unlock()
+	poolSubmit(r, epoch, r.threads-1)
+	r.solveLoop(epoch)
+	r.mu.Lock()
+	r.running = false
+	for r.joined > 0 {
+		r.cond.Wait()
+	}
+	r.mu.Unlock()
+	for k := 0; k < n; k++ {
+		dst[f.q[k]] = y[k]
+	}
+}
+
+// solveLoop is the participant body of a solve run: walk the segments
+// in order, claim chunks dynamically within each, and wait for a
+// segment to drain before entering the next — the level barrier that
+// makes every pulled source row final.
+func (r *parRunner) solveLoop(epoch uint64) {
+	for si := range r.segs {
+		sg := &r.segs[si]
+		for {
+			c := atomic.AddInt32(&r.segChunk[si], 1) - 1
+			if c >= sg.chunks {
+				break
+			}
+			r.execSolveChunk(sg, c)
+			if atomic.AddInt32(&r.segLeft[si], -1) == 0 {
+				r.mu.Lock()
+				r.cond.Broadcast()
+				r.mu.Unlock()
+			}
+		}
+		if atomic.LoadInt32(&r.segLeft[si]) > 0 {
+			r.mu.Lock()
+			for r.curEpoch == epoch && atomic.LoadInt32(&r.segLeft[si]) > 0 {
+				r.cond.Wait()
+			}
+			stale := r.curEpoch != epoch
+			r.mu.Unlock()
+			if stale {
+				return
+			}
+		}
+	}
+}
+
+// execSolveChunk pulls one chunk of rows: each row's final value is the
+// serial sweep's per-row subtraction sequence (ascending source columns
+// forward, descending backward, sources skipped at zero exactly like
+// the push-based kernel), so any dependency-respecting execution
+// produces bit-identical solutions.
+func (r *parRunner) execSolveChunk(sg *solveSeg, c int32) {
+	d := sg.d
+	lo := sg.lo + c*sg.cr
+	hi := lo + sg.cr
+	if hi > sg.hi {
+		hi = sg.hi
+	}
+	y := r.y
+	if !sg.back {
+		lx := r.f.lx
+		for _, i := range d.order[lo:hi] {
+			yi := y[i]
+			for e := d.rowPtr[i]; e < d.rowPtr[i+1]; e++ {
+				yk := y[d.col[e]]
+				if yk == 0 {
+					continue
+				}
+				yi -= lx[d.pos[e]] * yk
+			}
+			y[i] = yi
+		}
+		return
+	}
+	ux := r.f.ux
+	up := r.f.up
+	for _, i := range d.order[lo:hi] {
+		yi := y[i]
+		for e := d.rowPtr[i+1] - 1; e >= d.rowPtr[i]; e-- {
+			yk := y[d.col[e]]
+			if yk == 0 {
+				continue
+			}
+			yi -= ux[d.pos[e]] * yk
+		}
+		yi /= ux[up[i+1]-1]
+		y[i] = yi
+	}
+}
+
+// NewFactorSlot returns a slot bound to this Symbolic, ready for
+// Into-style refactorization streams and slot-level solves.
+func (s *Symbolic) NewFactorSlot() *FactorSlot {
+	sl := &FactorSlot{}
+	sl.bind(s)
+	return sl
+}
+
+// Refactor runs the automatically selected numeric kernel — serial or
+// parallel per SetThreads and the pattern's schedule — into the slot's
+// preallocated factors.
+func (sl *FactorSlot) Refactor(a *CSC) (*LUFactors, error) {
+	return refactorOn(sl.sym, a, sl)
+}
+
+// Factors returns the slot's bound factors (valid after a successful
+// Refactor/FactorizeInto, until the next one).
+func (sl *FactorSlot) Factors() *LUFactors { return sl.f }

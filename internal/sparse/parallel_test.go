@@ -1,0 +1,278 @@
+package sparse
+
+import (
+	"math"
+	"math/rand"
+	"runtime"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/la"
+)
+
+// parallelTestThreads are the thread counts every equivalence test
+// pins: the parallel kernels must be bit-identical to the serial ones
+// at each of them.
+var parallelTestThreads = []int{1, 2, 4, 8}
+
+// bigDenseTail builds a system above the parallel threshold with a
+// dense trailing block, so the blocked kernel and wide supernodes are
+// exercised under the task DAG.
+func bigDenseTail(r *rand.Rand, n, tail int) *CSC {
+	return denseTailSystem(r, n, tail)
+}
+
+// bigTridiag builds a tridiagonal system above the parallel threshold:
+// no fill, no panels, so the auto selection keeps the scalar kernel and
+// the task DAG drives refactorColumn directly.
+func bigTridiag(r *rand.Rand, n int) *CSC {
+	b := NewBuilder(n, n)
+	for i := 0; i < n; i++ {
+		b.Append(i, i, 8+r.Float64()*4)
+		if i+1 < n {
+			b.Append(i, i+1, r.NormFloat64())
+			b.Append(i+1, i, r.NormFloat64())
+		}
+	}
+	return b.ToCSC()
+}
+
+// checkParallelKernels refactors and solves m on sym at every tested
+// thread count and requires bit-identity with the serial auto kernel.
+func checkParallelKernels(t *testing.T, sym *Symbolic, m *CSC, r *rand.Rand) {
+	t.Helper()
+	ref := &LUFactors{}
+	ws := sym.NewRefactorWorkspace()
+	if err := sym.refactorAutoInto(ref, ws, m); err != nil {
+		t.Fatal(err)
+	}
+	refCopy := &LUFactors{}
+	*refCopy = *ref
+	refCopy.lx = append([]float64(nil), ref.lx...)
+	refCopy.ux = append([]float64(nil), ref.ux...)
+	rhs := make(la.Vector, m.NRows)
+	for i := range rhs {
+		rhs[i] = r.NormFloat64()
+	}
+	// Sprinkle exact zeros into the rhs so the solves' zero-skip paths
+	// run on both kernels.
+	for i := 0; i < len(rhs); i += 7 {
+		rhs[i] = 0
+	}
+	wantX := make(la.Vector, m.NRows)
+	work := make(la.Vector, m.NRows)
+	ref.SolveInto(wantX, rhs, work)
+	for _, threads := range parallelTestThreads {
+		sl := sym.NewFactorSlot()
+		sl.SetThreads(threads)
+		f, err := sl.Refactor(m)
+		if err != nil {
+			t.Fatalf("threads=%d: %v", threads, err)
+		}
+		if !f.EqualValues(refCopy) {
+			t.Fatalf("threads=%d: parallel factors differ from serial kernel", threads)
+		}
+		got := make(la.Vector, m.NRows)
+		sl.SolveInto(f, got, rhs, work)
+		for i := range got {
+			if math.Float64bits(got[i]) != math.Float64bits(wantX[i]) {
+				t.Fatalf("threads=%d: solve differs at %d: %v vs %v", threads, i, got[i], wantX[i])
+			}
+		}
+	}
+}
+
+// The parallel blocked kernel must be bit-identical to the
+// single-threaded blocked kernel on panel-heavy systems at every thread
+// count.
+func TestParallelRefactorDenseTail(t *testing.T) {
+	r := rand.New(rand.NewSource(51))
+	for _, cfg := range []struct{ n, tail int }{{220, 24}, {400, 40}, {640, 16}} {
+		a := bigDenseTail(r, cfg.n, cfg.tail)
+		sym, _, err := Analyze(a, OrderAMD, 1.0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sym.parallel().use {
+			t.Fatalf("n=%d: parallel schedule unexpectedly disabled", cfg.n)
+		}
+		checkParallelKernels(t, sym, a, r)
+		checkParallelKernels(t, sym, withFreshValues(r, a), r)
+	}
+}
+
+// The parallel scalar kernel (no panels selected) must be bit-identical
+// to the serial scalar kernel.
+func TestParallelRefactorScalarPath(t *testing.T) {
+	r := rand.New(rand.NewSource(53))
+	a := bigTridiag(r, 500)
+	sym, _, err := Analyze(a, OrderNatural, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sym.blocked().use {
+		t.Fatal("tridiagonal system unexpectedly selected the blocked kernel")
+	}
+	if !sym.parallel().use {
+		t.Fatal("parallel schedule unexpectedly disabled")
+	}
+	checkParallelKernels(t, sym, a, r)
+	checkParallelKernels(t, sym, withFreshValues(r, a), r)
+}
+
+// Below the n>=192 threshold the auto heuristic keeps everything
+// serial: a threaded slot must take the serial kernel path and still
+// produce serial-identical results.
+func TestParallelRefactorSmallStaysSerial(t *testing.T) {
+	r := rand.New(rand.NewSource(57))
+	a := denseTailSystem(r, 80, 10)
+	sym, _, err := Analyze(a, OrderAMD, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sym.parallel().use {
+		t.Fatal("parallel schedule enabled below the blocked threshold")
+	}
+	checkParallelKernels(t, sym, withFreshValues(r, a), r)
+}
+
+// Property: random patterns (forced through the parallel schedule by
+// flipping use) stay bit-identical to the serial kernel at every thread
+// count — the fuzz half of the equivalence suite.
+func TestParallelRefactorMatchesSerialRandom(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 8 + r.Intn(120)
+		a1, a2 := randPatternPair(r, n)
+		for _, ord := range []Ordering{OrderNatural, OrderAMD} {
+			sym, _, err := Analyze(a1, ord, 1.0)
+			if err != nil {
+				return true // singular draw
+			}
+			// Force the schedule on regardless of size so small random
+			// patterns exercise the DAG and level plans too.
+			sym.parallel().use = true
+			sym.parallel().fwd.use = true
+			sym.parallel().bwd.use = true
+			checkParallelKernels(t, sym, a2, r)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Error semantics: the parallel kernel must report the error of the
+// smallest failing column — exactly what the serial sweep returns — and
+// restore every participant workspace for the next run.
+func TestParallelRefactorErrorEquivalence(t *testing.T) {
+	r := rand.New(rand.NewSource(59))
+	a := bigDenseTail(r, 260, 20)
+	sym, _, err := Analyze(a, OrderAMD, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := withFreshValues(r, a)
+	// Zero one mid-elimination column: its pivot column has no nonzero
+	// candidate left, so the refactorization must fail at exactly that
+	// elimination step.
+	for p := bad.ColPtr[130]; p < bad.ColPtr[131]; p++ {
+		bad.Val[p] = 0
+	}
+	refErr := sym.refactorAutoInto(&LUFactors{}, sym.NewRefactorWorkspace(), bad)
+	if refErr == nil {
+		t.Fatal("zeroed column unexpectedly factors")
+	}
+	for _, threads := range parallelTestThreads {
+		sl := sym.NewFactorSlot()
+		sl.SetThreads(threads)
+		if _, err := refactorOn(sym, bad, sl); err != refErr {
+			t.Fatalf("threads=%d: error %v, want %v", threads, err, refErr)
+		}
+		if sl.pr != nil {
+			for _, ws := range sl.pr.wss {
+				for i, v := range ws.x {
+					if v != 0 {
+						t.Fatalf("threads=%d: workspace not restored: x[%d]=%v", threads, i, v)
+					}
+				}
+			}
+		}
+		// The same slot must factor a good matrix afterwards.
+		good := withFreshValues(r, a)
+		f, err := sl.Refactor(good)
+		if err != nil {
+			t.Fatalf("threads=%d: post-error refactor: %v", threads, err)
+		}
+		ref := &LUFactors{}
+		if err := sym.refactorAutoInto(ref, sym.NewRefactorWorkspace(), good); err != nil {
+			t.Fatal(err)
+		}
+		if !f.EqualValues(ref) {
+			t.Fatalf("threads=%d: post-error factors differ from serial", threads)
+		}
+	}
+}
+
+// The steady-state parallel loop must allocate nothing once the runner
+// is built — the zero-allocation pin the warm serving loop relies on.
+func TestParallelRefactorAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under -race")
+	}
+	r := rand.New(rand.NewSource(61))
+	a := bigDenseTail(r, 300, 24)
+	sym, _, err := Analyze(a, OrderAMD, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := withFreshValues(r, a)
+	sl := sym.NewFactorSlot()
+	sl.SetThreads(4)
+	f, err := sl.Refactor(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rhs := make(la.Vector, m.NRows)
+	dst := make(la.Vector, m.NRows)
+	work := make(la.Vector, m.NRows)
+	for i := range rhs {
+		rhs[i] = r.NormFloat64()
+	}
+	if n := testing.AllocsPerRun(50, func() {
+		if _, err := sl.Refactor(m); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Errorf("parallel Refactor allocates %v times per call, want 0", n)
+	}
+	if n := testing.AllocsPerRun(50, func() { sl.SolveInto(f, dst, rhs, work) }); n != 0 {
+		t.Errorf("parallel SolveInto allocates %v times per call, want 0", n)
+	}
+}
+
+// SolverThreads resolution: explicit > PGSIM_SOLVER_THREADS > process
+// default > 1, clamped to GOMAXPROCS.
+func TestSolverThreadsResolution(t *testing.T) {
+	defer SetDefaultSolverThreads(0)
+	SetDefaultSolverThreads(0)
+	t.Setenv("PGSIM_SOLVER_THREADS", "")
+	if got := SolverThreads(0); got != 1 {
+		t.Fatalf("default resolution = %d, want 1", got)
+	}
+	SetDefaultSolverThreads(2)
+	if got, want := SolverThreads(0), min(2, runtime.GOMAXPROCS(0)); got != want {
+		t.Fatalf("process default = %d, want %d", got, want)
+	}
+	t.Setenv("PGSIM_SOLVER_THREADS", "3")
+	if got, want := SolverThreads(0), min(3, runtime.GOMAXPROCS(0)); got != want {
+		t.Fatalf("env override = %d, want %d", got, want)
+	}
+	if got, want := SolverThreads(1), 1; got != want {
+		t.Fatalf("explicit = %d, want %d", got, want)
+	}
+	if got, want := SolverThreads(1<<20), runtime.GOMAXPROCS(0); got != want {
+		t.Fatalf("GOMAXPROCS clamp = %d, want %d", got, want)
+	}
+}

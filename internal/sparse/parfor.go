@@ -1,0 +1,118 @@
+package sparse
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// ParFor is a reusable fork-join range runner over the package worker
+// pool: Run splits [0, n) into fixed-size chunks claimed dynamically by
+// the calling goroutine plus up to threads-1 pool helpers. It exists
+// for data-parallel loops whose chunks write disjoint outputs — the
+// sharded KKT assembly and the assembler's slot reduction — where any
+// chunk-to-participant assignment produces identical results, so
+// determinism is free and only the memory-model bookkeeping matters.
+//
+// The zero value is ready to use. A ParFor is reusable but not
+// reentrant: one Run at a time. All claim/exit bookkeeping is
+// preallocated state, so steady-state Runs allocate nothing.
+type ParFor struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	// epoch identifies the active run and running marks one in flight;
+	// joined counts pool helpers inside the claim loop. A run only ends
+	// once joined drains to zero and joins require running, so a stalled
+	// helper can never claim chunks from a later run's reset counters.
+	// All guarded by mu.
+	epoch   uint64
+	joined  int
+	running bool
+
+	fn       func(lo, hi int) // active run's body; guarded by mu
+	n, chunk int              // guarded by mu (copied at join)
+
+	next, left int32 // atomic chunk claim / drain counters
+}
+
+// Run executes fn over [0, n) in chunk-sized ranges on up to threads
+// participants (the caller included) and returns when every range has
+// completed. fn must tolerate any partition of [0, n) into [lo, hi)
+// ranges and must write only chunk-local outputs. threads < 2 (or a
+// single chunk) runs fn(0, n) inline.
+func (p *ParFor) Run(n, threads, chunk int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if chunk < 1 {
+		chunk = 1
+	}
+	nc := (n + chunk - 1) / chunk
+	if threads > nc {
+		threads = nc
+	}
+	if threads < 2 {
+		fn(0, n)
+		return
+	}
+	p.mu.Lock()
+	if p.cond == nil {
+		p.cond = sync.NewCond(&p.mu)
+	}
+	p.epoch++
+	p.running = true
+	p.fn, p.n, p.chunk = fn, n, chunk
+	atomic.StoreInt32(&p.next, 0)
+	atomic.StoreInt32(&p.left, int32(nc))
+	epoch := p.epoch
+	p.mu.Unlock()
+	poolSubmit(p, epoch, threads-1)
+	p.work(fn, n, chunk)
+	p.mu.Lock()
+	p.running = false
+	for p.joined > 0 || atomic.LoadInt32(&p.left) != 0 {
+		p.cond.Wait()
+	}
+	p.fn = nil
+	p.mu.Unlock()
+}
+
+// work claims and executes chunks until none remain.
+func (p *ParFor) work(fn func(lo, hi int), n, chunk int) {
+	for {
+		c := int(atomic.AddInt32(&p.next, 1)) - 1
+		lo := c * chunk
+		if lo >= n {
+			return
+		}
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		fn(lo, hi)
+		if atomic.AddInt32(&p.left, -1) == 0 {
+			p.mu.Lock()
+			p.cond.Broadcast()
+			p.mu.Unlock()
+		}
+	}
+}
+
+// help is the pool entry point: join the active run if the invitation
+// is still current.
+func (p *ParFor) help(epoch uint64) {
+	p.mu.Lock()
+	if p.epoch != epoch || !p.running {
+		p.mu.Unlock()
+		return
+	}
+	fn, n, chunk := p.fn, p.n, p.chunk
+	p.joined++
+	p.mu.Unlock()
+	p.work(fn, n, chunk)
+	p.mu.Lock()
+	p.joined--
+	if p.joined == 0 {
+		p.cond.Broadcast()
+	}
+	p.mu.Unlock()
+}

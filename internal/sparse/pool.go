@@ -1,0 +1,126 @@
+package sparse
+
+import (
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// This file holds the intra-solve worker pool and the solver-thread
+// resolution chain. The pool is a single package-level set of helper
+// goroutines shared by every parallel region in the process (factor
+// task DAGs, level-scheduled solves, sharded KKT reductions). Sharing
+// one pool keeps the global helper count bounded by GOMAXPROCS no
+// matter how many solves run concurrently: each region asks for at
+// most threads-1 helpers, submission is best-effort, and the owning
+// goroutine always participates, so a region that gets no helpers
+// still completes — just serially.
+//
+// Determinism does not depend on which helpers show up: every parallel
+// region partitions its work so that each output value is produced by
+// exactly one participant running the same instruction sequence the
+// serial kernel would, so results are bit-identical at every thread
+// count (the equivalence tests pin this at 1/2/4/8).
+
+// helper is one parallel region a pool worker can join. help must
+// return promptly when the region's epoch has moved on.
+type helper interface {
+	help(epoch uint64)
+}
+
+// poolItem is a best-effort invitation for one worker to join a region.
+// Items are small values — submitting allocates nothing.
+type poolItem struct {
+	h     helper
+	epoch uint64
+}
+
+var (
+	poolOnce sync.Once
+	poolCh   chan poolItem
+	poolSize int
+)
+
+// poolStart lazily spins up the helper workers: GOMAXPROCS-1 parked
+// goroutines draining one channel. Started on first parallel use, kept
+// for the life of the process (parked goroutines cost a few KB each and
+// no CPU).
+func poolStart() {
+	poolOnce.Do(func() {
+		poolSize = runtime.GOMAXPROCS(0) - 1
+		if poolSize < 1 {
+			poolSize = 1
+		}
+		poolCh = make(chan poolItem, 4*poolSize)
+		for i := 0; i < poolSize; i++ {
+			go func() {
+				for it := range poolCh {
+					it.h.help(it.epoch)
+				}
+			}()
+		}
+	})
+}
+
+// poolSubmit invites up to n workers to join h's current epoch. Best
+// effort: when the channel is full every invited worker is already
+// busy, and dropping the invitation is correct — the region's owner
+// does the work itself.
+func poolSubmit(h helper, epoch uint64, n int) {
+	poolStart()
+	for i := 0; i < n; i++ {
+		select {
+		case poolCh <- poolItem{h: h, epoch: epoch}:
+		default:
+			return
+		}
+	}
+}
+
+// Solver-thread resolution. Mirrors batch.Workers: an explicit value
+// wins, then the PGSIM_SOLVER_THREADS environment knob, then the
+// process-wide default set by SetDefaultSolverThreads, then 1 (serial).
+// The resolved count is a *request*: the auto heuristic keeps small
+// systems serial, and batch.ThreadBudget clamps nested parallelism so
+// problem-level workers × solver threads never oversubscribes
+// GOMAXPROCS.
+
+var defaultSolverThreads atomic.Int64
+
+// SetDefaultSolverThreads sets the process-wide default solver thread
+// count used when neither an explicit option nor PGSIM_SOLVER_THREADS
+// is given. n <= 0 restores the built-in default of 1. The cmd layers
+// call this from their -solver-threads flags.
+func SetDefaultSolverThreads(n int) {
+	if n < 0 {
+		n = 0
+	}
+	defaultSolverThreads.Store(int64(n))
+}
+
+// SolverThreads resolves a solver thread count: explicit > 0 wins, then
+// PGSIM_SOLVER_THREADS, then SetDefaultSolverThreads, then 1. The
+// result is clamped to GOMAXPROCS — more threads than cores only adds
+// scheduling noise to a deterministic kernel.
+func SolverThreads(explicit int) int {
+	n := explicit
+	if n <= 0 {
+		if env := os.Getenv("PGSIM_SOLVER_THREADS"); env != "" {
+			if v, err := strconv.Atoi(env); err == nil && v > 0 {
+				n = v
+			}
+		}
+	}
+	if n <= 0 {
+		n = int(defaultSolverThreads.Load())
+	}
+	if n <= 0 {
+		n = 1
+	}
+	if m := runtime.GOMAXPROCS(0); n > m {
+		n = m
+	}
+	return n
+}
