@@ -27,12 +27,14 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/batch"
 	"repro/internal/core"
+	"repro/internal/lifecycle"
 	"repro/internal/mtl"
 	"repro/internal/serve"
 )
@@ -67,6 +69,12 @@ func main() {
 	window := flag.Duration("batch-window", 2*time.Millisecond, "how long to wait for requests to coalesce (negative = no wait)")
 	queue := flag.Int("queue", 256, "pending-request bound (full queue answers 503)")
 	solverThreads := flag.Int("solver-threads", 0, "threads per KKT factorization/solve, capped by the worker budget (0 = PGSIM_SOLVER_THREADS or 1)")
+	captureDir := flag.String("capture-dir", "", "directory for served-traffic capture files and the model registry (empty = lifecycle off)")
+	captureCap := flag.Int("capture-cap", 1024, "captured (instance, solution) pairs retained per system (ring buffer)")
+	canaryFrac := flag.Float64("canary-frac", 0.2, "fraction of warm traffic routed to a canary candidate")
+	canaryWindow := flag.Int("canary-window", 32, "warm solves per arm before a canary window decides")
+	retrain := flag.Bool("retrain", false, "retrain automatically on detected drift (needs -capture-dir and a model)")
+	retrainEpochs := flag.Int("retrain-epochs", 0, "epochs per drift-triggered retrain (0 = the variant's training default)")
 	flag.Parse()
 	batch.SetDefaultWorkers(*workers)
 
@@ -90,15 +98,56 @@ func main() {
 		QueueDepth:    *queue,
 		SolverThreads: *solverThreads,
 	})
+	// With -capture-dir the daemon runs the full model lifecycle: served
+	// traffic is captured to <dir>/<system>.capture, boot models are
+	// registered in the versioned registry under <dir>/registry, and —
+	// with -retrain — drift triggers a background retrain whose
+	// candidate canaries at -canary-frac before promotion.
+	var reg *lifecycle.Registry
+	if *captureDir != "" {
+		reg, err = lifecycle.NewRegistry(filepath.Join(*captureDir, "registry"), nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
 	for _, sys := range loaded {
 		m, err := modelFor(sys, models, variant, *trainN, *epochs, *seed)
 		if err != nil {
 			log.Fatal(err)
 		}
-		srv.AddSystem(sys, m)
 		mode := "cold-only"
 		if m != nil {
 			mode = "warm-start"
+		}
+		if *captureDir != "" && m != nil {
+			v, err := reg.SaveIncumbent(sys.Name, m, "boot")
+			if err != nil {
+				log.Fatal(err)
+			}
+			srv.AddSystemVersion(sys, m, v.ID)
+			mgr, err := lifecycle.NewManager(lifecycle.Config{
+				System:  sys,
+				Variant: variant,
+				Capture: lifecycle.CaptureConfig{Dir: *captureDir, Cap: *captureCap},
+				Canary:  lifecycle.CanaryConfig{Frac: *canaryFrac, Window: *canaryWindow},
+
+				RetrainEpochs: *retrainEpochs,
+				RetrainSeed:   *seed,
+				Registry:      reg,
+				Logf:          log.Printf,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := srv.AttachLifecycle(sys.Name, mgr, *retrain); err != nil {
+				log.Fatal(err)
+			}
+			mode += ", lifecycle"
+			if *retrain {
+				mode += "+auto-retrain"
+			}
+		} else {
+			srv.AddSystem(sys, m)
 		}
 		log.Printf("serving %s (%d buses, #λ=%d #µ=%d, %s)",
 			sys.Name, sys.Case.NB(), sys.OPF.Lay.NEq, sys.OPF.Lay.NIq, mode)

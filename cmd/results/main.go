@@ -116,6 +116,29 @@ type kktReport struct {
 	} `json:"parallel_kernel"`
 }
 
+type lifecycleReport struct {
+	Benchmark string `json:"benchmark"`
+	System    string `json:"system"`
+	Drift     struct {
+		Window   int `json:"window"`
+		Baseline int `json:"baseline"`
+		FiredAt  int `json:"fired_at"`
+	} `json:"drift"`
+	Canary struct {
+		Frac     float64 `json:"frac"`
+		Window   int     `json:"window"`
+		Decision string  `json:"decision"`
+	} `json:"canary"`
+	CapturedPairs              int64   `json:"captured_pairs"`
+	RetrainMs                  float64 `json:"retrain_ms"`
+	Candidate                  string  `json:"candidate"`
+	PreDriftWarmItersMean      float64 `json:"pre_drift_warm_iters_mean"`
+	PreDriftWarmHits           int     `json:"pre_drift_warm_hits"`
+	PostPromotionWarmItersMean float64 `json:"post_promotion_warm_iters_mean"`
+	PostPromotionWarmHits      int     `json:"post_promotion_warm_hits"`
+	Probes                     int     `json:"probes"`
+}
+
 type report struct {
 	Benchmark  string `json:"benchmark"`
 	ProducedBy string `json:"produced_by"`
@@ -133,6 +156,7 @@ func main() {
 	in := flag.String("in", "BENCH_paper.json", "benchmark report to render")
 	traj := flag.String("trajectory", "BENCH_trajectory.json", "trajectory benchmark report to append (section skipped when the file is absent)")
 	kkt := flag.String("kkt", "BENCH_kkt.json", "kernel benchmark report to append (section skipped when the file is absent)")
+	lc := flag.String("lifecycle", "BENCH_lifecycle.json", "lifecycle benchmark report to append (section skipped when the file is absent)")
 	out := flag.String("out", "RESULTS.md", "markdown file to write")
 	flag.Parse()
 
@@ -240,6 +264,10 @@ func main() {
 
 	if tbuf, err := os.ReadFile(*traj); err == nil {
 		renderTrajectory(w, *traj, tbuf)
+	}
+
+	if lbuf, err := os.ReadFile(*lc); err == nil {
+		renderLifecycle(w, *lc, lbuf)
 	}
 
 	if err := os.WriteFile(*out, []byte(b.String()), 0o644); err != nil {
@@ -369,4 +397,38 @@ func renderTrajectory(w func(string, ...any), path string, buf []byte) {
 		w("(every step's convergence flags, iteration count, cost and dispatch).")
 		w("")
 	}
+}
+
+// renderLifecycle appends the online-lifecycle section from
+// BENCH_lifecycle.json (written by BenchmarkLifecycle).
+func renderLifecycle(w func(string, ...any), path string, buf []byte) {
+	var l lifecycleReport
+	if err := json.Unmarshal(buf, &l); err != nil {
+		log.Fatalf("parsing %s: %v", path, err)
+	}
+	if l.System == "" {
+		log.Printf("note: %s has no lifecycle run, skipped", path)
+		return
+	}
+	w("## Online model lifecycle: drift-triggered retrain and canary")
+	w("")
+	w("One closed lifecycle loop on %s — served traffic captured, a regime", l.System)
+	w("change fired the windowed drift detector (window %d, baseline %d", l.Drift.Window, l.Drift.Baseline)
+	w("windows) on observation %d, the candidate retrained on the captured", l.Drift.FiredAt)
+	w("(instance, solution) pairs through the offline training path, and a")
+	w("canary window (%.0f %% traffic, %d observations per arm) gated the", 100*l.Canary.Frac, l.Canary.Window)
+	w("hot swap. Rendered from `%s`; regenerate with the BenchmarkLifecycle", path)
+	w("recipe in EXPERIMENTS.md.")
+	w("")
+	w("| captured pairs | retrain ms | canary decision | warm iters (pre-drift) | warm iters (post-promotion) | probe hits |")
+	w("|---|---|---|---|---|---|")
+	w("| %d | %.0f | **%s** | %.1f | %.1f | %d/%d |",
+		l.CapturedPairs, l.RetrainMs, l.Canary.Decision,
+		l.PreDriftWarmItersMean, l.PostPromotionWarmItersMean,
+		l.PostPromotionWarmHits, l.Probes)
+	w("")
+	w("The promoted candidate (`%s`) is content-hash versioned in the model", l.Candidate)
+	w("registry; the benchmark fails (`b.Fatal`) if the canary promotes a")
+	w("regressing candidate or the promoted model misses a warm probe.")
+	w("")
 }

@@ -63,3 +63,28 @@ func TestEmbeddedNamesResolve(t *testing.T) {
 		}
 	}
 }
+
+// TestLifecycleDocsCoverage: the online model lifecycle (DESIGN.md §13)
+// must stay documented end to end — the pgsimd flags in README.md, the
+// closed-loop recipe in EXPERIMENTS.md, and the BENCH_lifecycle.json
+// schema in PERFORMANCE.md.
+func TestLifecycleDocsCoverage(t *testing.T) {
+	readme := mustRead(t, "README.md")
+	for _, flag := range []string{"-capture-dir", "-capture-cap", "-canary-frac", "-canary-window", "-retrain", "-retrain-epochs"} {
+		if !mentions(readme, flag[1:]) {
+			t.Errorf("README.md does not document the pgsimd %s flag", flag)
+		}
+	}
+	if !mentions(readme, "pgsimd_lifecycle_") {
+		t.Error("README.md does not document the pgsimd_lifecycle_* metrics")
+	}
+	if design := mustRead(t, "DESIGN.md"); !mentions(design, "internal/lifecycle") {
+		t.Error("DESIGN.md does not cover internal/lifecycle")
+	}
+	if exp := mustRead(t, "EXPERIMENTS.md"); !mentions(exp, "BenchmarkLifecycle") {
+		t.Error("EXPERIMENTS.md has no BenchmarkLifecycle recipe")
+	}
+	if perf := mustRead(t, "PERFORMANCE.md"); !mentions(perf, "BENCH_lifecycle.json") {
+		t.Error("PERFORMANCE.md does not describe the BENCH_lifecycle.json schema")
+	}
+}

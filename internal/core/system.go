@@ -187,6 +187,52 @@ func (s *System) TrainModel(variant mtl.Variant, train *dataset.Set, epochs int,
 	return m, nil
 }
 
+// RetrainOptions configures a served-traffic retraining run. The zero
+// value is usable: epochs default through TrainingDefaults for the
+// system size, the seed defaults to 1.
+type RetrainOptions struct {
+	// Epochs is the training epoch count; 0 derives it from the system
+	// size via TrainingDefaults.
+	Epochs int
+	// Seed seeds weight initialization and batch shuffling; 0 means 1.
+	Seed int64
+	// Logf, when non-nil, receives training progress lines.
+	Logf func(string, ...any)
+}
+
+// minRetrainSamples is the smallest captured corpus worth retraining
+// on: below this the optimizer sees too few batches per epoch for the
+// heads to move off initialization.
+const minRetrainSamples = 16
+
+// Retrain is the retrain-from-captured-pairs entry point of the online
+// model lifecycle (DESIGN.md §13): it runs the exact offline training
+// path (TrainModel) on a dataset assembled from served-traffic capture
+// records instead of synthetic load draws. The set must belong to this
+// system (same bus count) and carry at least minRetrainSamples
+// converged pairs; epoch defaults follow TrainingDefaults so a capture
+// window retrains in the same budget as a bootstrap run.
+func (s *System) Retrain(variant mtl.Variant, set *dataset.Set, opt RetrainOptions) (*mtl.Model, error) {
+	if set == nil || len(set.Samples) == 0 {
+		return nil, fmt.Errorf("core: retrain %s: empty capture set", s.Name)
+	}
+	if set.NB != s.Case.NB() {
+		return nil, fmt.Errorf("core: retrain %s: capture set has %d buses, system has %d", s.Name, set.NB, s.Case.NB())
+	}
+	if len(set.Samples) < minRetrainSamples {
+		return nil, fmt.Errorf("core: retrain %s: %d captured pairs, want at least %d", s.Name, len(set.Samples), minRetrainSamples)
+	}
+	epochs := opt.Epochs
+	if epochs == 0 {
+		_, epochs = TrainingDefaults(s.Case.NB())
+	}
+	seed := opt.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	return s.TrainModel(variant, set, epochs, seed, opt.Logf)
+}
+
 // Predictor produces a warm-start point from a model input [Pd; Qd].
 // *mtl.Model is the production implementation; the serving layer and
 // tests substitute stubs to force specific warm-start behaviour. A

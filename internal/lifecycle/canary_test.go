@@ -1,0 +1,96 @@
+package lifecycle
+
+import "testing"
+
+// TestCanaryRouteDeterministic pins the Bresenham split: no RNG, so two
+// controllers with the same config produce the identical route
+// sequence, and the candidate receives exactly ⌊n·Frac⌋ of the first n
+// requests at every prefix.
+func TestCanaryRouteDeterministic(t *testing.T) {
+	a := NewCanary(CanaryConfig{Frac: 0.25})
+	b := NewCanary(CanaryConfig{Frac: 0.25})
+	cand := 0
+	for i := 1; i <= 1000; i++ {
+		ra, rb := a.Route(), b.Route()
+		if ra != rb {
+			t.Fatalf("route %d diverged between identical controllers", i)
+		}
+		if ra {
+			cand++
+		}
+		if want := i / 4; cand != want {
+			t.Fatalf("after %d routes the candidate has %d, want exactly %d", i, cand, want)
+		}
+	}
+}
+
+func observeN(c *Canary, candidate bool, n, hits, iters int) {
+	for i := 0; i < n; i++ {
+		c.Observe(candidate, i < hits, iters)
+	}
+}
+
+func TestCanaryUndecidedUntilWindow(t *testing.T) {
+	c := NewCanary(CanaryConfig{Window: 10})
+	observeN(c, false, 10, 10, 5)
+	observeN(c, true, 9, 9, 5)
+	if d := c.Decide(); d != Undecided {
+		t.Fatalf("decision = %v with a short candidate arm, want undecided", d)
+	}
+	c.Observe(true, true, 5)
+	if d := c.Decide(); d != Promote {
+		t.Fatalf("decision = %v for an equivalent candidate, want promote", d)
+	}
+}
+
+func TestCanaryRollbackOnHitRateDrop(t *testing.T) {
+	c := NewCanary(CanaryConfig{Window: 20, MaxHitRateDrop: 0.02})
+	observeN(c, false, 20, 20, 5) // incumbent: 100 % hit rate
+	observeN(c, true, 20, 18, 5)  // candidate: 90 %
+	if d := c.Decide(); d != Rollback {
+		t.Fatalf("decision = %v for a 10%% hit-rate drop, want rollback", d)
+	}
+}
+
+func TestCanaryRollbackOnIterRegression(t *testing.T) {
+	c := NewCanary(CanaryConfig{Window: 20, MaxIterRegression: 0.05})
+	observeN(c, false, 20, 20, 5)
+	observeN(c, true, 20, 20, 8) // +60 % mean warm iterations
+	if d := c.Decide(); d != Rollback {
+		t.Fatalf("decision = %v for a 60%% iteration regression, want rollback", d)
+	}
+}
+
+func TestCanaryIterationSlackToleratesJitter(t *testing.T) {
+	c := NewCanary(CanaryConfig{Window: 20})
+	observeN(c, false, 20, 20, 5)
+	// Mean 5.25 vs 5: within 5·1.05+0.5, not a regression.
+	for i := 0; i < 20; i++ {
+		it := 5
+		if i%4 == 0 {
+			it = 6
+		}
+		c.Observe(true, true, it)
+	}
+	if d := c.Decide(); d != Promote {
+		t.Fatalf("decision = %v for quarter-iteration jitter, want promote", d)
+	}
+}
+
+func TestCanaryDeadCandidateNeverPromotes(t *testing.T) {
+	c := NewCanary(CanaryConfig{Window: 5, MaxHitRateDrop: 1}) // even unlimited drop tolerance
+	observeN(c, false, 5, 0, 0)                                // incumbent also dead
+	observeN(c, true, 5, 0, 0)
+	if d := c.Decide(); d != Rollback {
+		t.Fatalf("decision = %v for a candidate with zero warm hits, want rollback", d)
+	}
+}
+
+func TestCanaryDeadIncumbentLosesToConvergingCandidate(t *testing.T) {
+	c := NewCanary(CanaryConfig{Window: 5})
+	observeN(c, false, 5, 0, 0) // incumbent: drifted, nothing converges
+	observeN(c, true, 5, 5, 9)  // candidate converges, whatever the count
+	if d := c.Decide(); d != Promote {
+		t.Fatalf("decision = %v when only the candidate converges, want promote", d)
+	}
+}

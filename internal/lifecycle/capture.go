@@ -1,0 +1,266 @@
+package lifecycle
+
+import (
+	"encoding/gob"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/dataset"
+	"repro/internal/la"
+)
+
+// Record is one captured serving outcome: the load instance (factors
+// and packed model input), the converged ground-truth solution the
+// solver produced for it, and the warm-start telemetry the drift
+// detector consumes. It carries everything dataset.Sample needs, so a
+// capture window converts losslessly into a training set.
+type Record struct {
+	// TimeUnix is the capture time from the lifecycle Clock.
+	TimeUnix int64
+	// Factors are the per-bus load multipliers of the instance.
+	Factors []float64
+	// Input is the model input [Pd; Qd] in per unit.
+	Input []float64
+	// Ground-truth converged solver state (the accepted solution — the
+	// warm solve's if it converged, else the cold restart's).
+	X, Lam, Mu, Z []float64
+	Cost          float64
+	// Iterations of the accepted solve.
+	Iterations int
+	// Warm reports the request was served on the warm pipeline (a model
+	// was consulted); WarmConverged whether that warm attempt converged
+	// without a restart. Cold-path records have both false.
+	Warm          bool
+	WarmConverged bool
+	// ModelVersion is the registry version of the model that served the
+	// request ("" on the cold path).
+	ModelVersion string
+}
+
+// CaptureConfig sizes a capture buffer.
+type CaptureConfig struct {
+	// Dir is the on-disk capture directory; "" keeps the buffer
+	// memory-only (Flush becomes a no-op).
+	Dir string
+	// System names the grid; the on-disk file is <Dir>/<System>.capture.
+	System string
+	// Cap bounds the retained records (default 1024). The buffer is a
+	// ring: past Cap, the oldest record is overwritten.
+	Cap int
+	// FlushEvery, when > 0, flushes to disk automatically every
+	// FlushEvery appends. 0 flushes only on explicit Flush calls (the
+	// serving daemon flushes on shutdown).
+	FlushEvery int
+	// Clock stamps records at Append time when the caller left
+	// Record.TimeUnix zero; nil means the system clock.
+	Clock Clock
+}
+
+func (c CaptureConfig) withDefaults() CaptureConfig {
+	if c.Cap <= 0 {
+		c.Cap = 1024
+	}
+	c.Clock = clockOrSystem(c.Clock)
+	return c
+}
+
+// Buffer is the bounded served-traffic capture buffer: a fixed-capacity
+// ring of Records with atomic whole-buffer flushes to disk. Safe for
+// concurrent use.
+type Buffer struct {
+	mu      sync.Mutex
+	cfg     CaptureConfig
+	recs    []Record // ring storage, len grows to cfg.Cap then stays
+	next    int      // ring write index once full
+	total   int64    // records ever appended
+	flushes int64    // completed disk flushes
+}
+
+// NewBuffer builds a capture buffer. When cfg.Dir is set it is created
+// if missing.
+func NewBuffer(cfg CaptureConfig) (*Buffer, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Dir != "" {
+		if cfg.System == "" {
+			return nil, fmt.Errorf("lifecycle: capture with a directory needs a system name")
+		}
+		if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+			return nil, fmt.Errorf("lifecycle: capture dir: %w", err)
+		}
+	}
+	return &Buffer{cfg: cfg}, nil
+}
+
+// Append records one serving outcome, stamping it with the buffer's
+// clock when the record carries no timestamp. Past the capacity the
+// oldest record is overwritten (the buffer keeps the most recent Cap
+// records — drift retraining wants fresh traffic, not history).
+func (b *Buffer) Append(r Record) {
+	b.mu.Lock()
+	if r.TimeUnix == 0 {
+		r.TimeUnix = b.cfg.Clock.Now().Unix()
+	}
+	if len(b.recs) < b.cfg.Cap {
+		b.recs = append(b.recs, r)
+	} else {
+		b.recs[b.next] = r
+		b.next = (b.next + 1) % b.cfg.Cap
+	}
+	b.total++
+	due := b.cfg.FlushEvery > 0 && b.total%int64(b.cfg.FlushEvery) == 0
+	b.mu.Unlock()
+	if due {
+		_ = b.Flush() // a failed periodic flush retries at the next interval
+	}
+}
+
+// Len reports the records currently retained.
+func (b *Buffer) Len() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.recs)
+}
+
+// Total reports the records ever appended (retained + overwritten).
+func (b *Buffer) Total() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.total
+}
+
+// Flushes reports completed disk flushes.
+func (b *Buffer) Flushes() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.flushes
+}
+
+// Snapshot returns the retained records in chronological order.
+func (b *Buffer) Snapshot() []Record {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.snapshotLocked()
+}
+
+func (b *Buffer) snapshotLocked() []Record {
+	out := make([]Record, 0, len(b.recs))
+	if len(b.recs) == b.cfg.Cap {
+		out = append(out, b.recs[b.next:]...)
+		out = append(out, b.recs[:b.next]...)
+	} else {
+		out = append(out, b.recs...)
+	}
+	return out
+}
+
+// capturePath is the on-disk location of a system's capture file.
+func capturePath(dir, system string) string {
+	return filepath.Join(dir, system+".capture")
+}
+
+// Flush writes the retained records to disk atomically: encode to a
+// temporary file, fsync it, rename over the capture file, fsync the
+// directory. A crash mid-flush leaves either the previous complete
+// capture or the new one, never a torn file. Memory-only buffers
+// (no Dir) return nil without touching disk.
+func (b *Buffer) Flush() error {
+	b.mu.Lock()
+	if b.cfg.Dir == "" {
+		b.mu.Unlock()
+		return nil
+	}
+	recs := b.snapshotLocked()
+	dir, system := b.cfg.Dir, b.cfg.System
+	b.mu.Unlock()
+
+	if err := writeFileSync(capturePath(dir, system), func(f *os.File) error {
+		return gob.NewEncoder(f).Encode(recs)
+	}); err != nil {
+		return fmt.Errorf("lifecycle: flushing capture for %s: %w", system, err)
+	}
+	b.mu.Lock()
+	b.flushes++
+	b.mu.Unlock()
+	return nil
+}
+
+// LoadCapture reads a system's flushed capture records back from disk.
+func LoadCapture(dir, system string) ([]Record, error) {
+	f, err := os.Open(capturePath(dir, system))
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var recs []Record
+	if err := gob.NewDecoder(f).Decode(&recs); err != nil {
+		return nil, fmt.Errorf("lifecycle: decoding capture for %s: %w", system, err)
+	}
+	return recs, nil
+}
+
+// ToSet converts capture records into a training set on the offline
+// pipeline's dataset type. Only converged pairs qualify (every record
+// written by the serving tap is converged — the accepted solution is
+// always a converged optimum — but defensively, records with an empty
+// solution are skipped).
+func ToSet(caseName string, nb int, recs []Record) *dataset.Set {
+	set := &dataset.Set{CaseName: caseName, NB: nb}
+	for _, r := range recs {
+		if len(r.X) == 0 {
+			continue
+		}
+		set.Samples = append(set.Samples, dataset.Sample{
+			Factors:    la.Vector(r.Factors),
+			Input:      la.Vector(r.Input),
+			X:          la.Vector(r.X),
+			Lam:        la.Vector(r.Lam),
+			Mu:         la.Vector(r.Mu),
+			Z:          la.Vector(r.Z),
+			Cost:       r.Cost,
+			Iterations: r.Iterations,
+		})
+	}
+	return set
+}
+
+// writeFileSync writes path atomically: the payload goes to path.tmp,
+// is fsync'd, renamed over path, and the parent directory is fsync'd so
+// the rename itself is durable.
+func writeFileSync(path string, write func(*os.File) error) error {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return syncDir(filepath.Dir(path))
+}
+
+// syncDir fsyncs a directory so a completed rename survives a crash.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}

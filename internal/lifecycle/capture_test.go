@@ -1,0 +1,140 @@
+package lifecycle
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// rec builds a minimal converged record tagged with a sequence number
+// (in Iterations) so ordering is checkable.
+func rec(seq int) Record {
+	return Record{
+		Factors:       []float64{1, 1, float64(seq)},
+		Input:         []float64{0.1, 0.2},
+		X:             []float64{float64(seq)},
+		Lam:           []float64{1},
+		Mu:            []float64{2},
+		Z:             []float64{3},
+		Cost:          100 + float64(seq),
+		Iterations:    seq,
+		Warm:          true,
+		WarmConverged: true,
+	}
+}
+
+func TestCaptureRingBound(t *testing.T) {
+	clk := NewFakeClock()
+	b, err := NewBuffer(CaptureConfig{Cap: 8, Clock: clk})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		b.Append(rec(i))
+	}
+	if b.Len() != 8 {
+		t.Fatalf("Len = %d, want the cap 8", b.Len())
+	}
+	if b.Total() != 20 {
+		t.Fatalf("Total = %d, want 20", b.Total())
+	}
+	snap := b.Snapshot()
+	for i, r := range snap {
+		if want := 12 + i; r.Iterations != want {
+			t.Fatalf("snapshot[%d] = seq %d, want %d (most recent 8, in order)", i, r.Iterations, want)
+		}
+	}
+}
+
+func TestCaptureClockStamping(t *testing.T) {
+	clk := NewFakeClock()
+	b, err := NewBuffer(CaptureConfig{Clock: clk})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t0 := clk.Now().Unix()
+	b.Append(rec(0))
+	clk.Advance(90 * time.Second)
+	b.Append(rec(1))
+	snap := b.Snapshot()
+	if snap[0].TimeUnix != t0 || snap[1].TimeUnix != t0+90 {
+		t.Fatalf("stamps = %d, %d, want %d, %d", snap[0].TimeUnix, snap[1].TimeUnix, t0, t0+90)
+	}
+}
+
+func TestCaptureFlushRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	b, err := NewBuffer(CaptureConfig{Dir: dir, System: "case9", Cap: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		b.Append(rec(i))
+	}
+	if err := b.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if b.Flushes() != 1 {
+		t.Fatalf("Flushes = %d, want 1", b.Flushes())
+	}
+	// The flush is atomic: no leftover temporary file.
+	if _, err := os.Stat(filepath.Join(dir, "case9.capture.tmp")); !os.IsNotExist(err) {
+		t.Fatalf("temporary flush file left behind (err=%v)", err)
+	}
+	got, err := LoadCapture(dir, "case9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 10 {
+		t.Fatalf("loaded %d records, want 10", len(got))
+	}
+	for i, r := range got {
+		if r.Iterations != i || r.Cost != 100+float64(i) {
+			t.Fatalf("record %d round-tripped as seq %d cost %v", i, r.Iterations, r.Cost)
+		}
+	}
+}
+
+func TestCapturePeriodicFlush(t *testing.T) {
+	dir := t.TempDir()
+	b, err := NewBuffer(CaptureConfig{Dir: dir, System: "g", FlushEvery: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 9; i++ {
+		b.Append(rec(i))
+	}
+	if b.Flushes() != 2 {
+		t.Fatalf("Flushes = %d after 9 appends with FlushEvery=4, want 2", b.Flushes())
+	}
+}
+
+func TestCaptureMemoryOnlyFlushIsNoop(t *testing.T) {
+	b, err := NewBuffer(CaptureConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Append(rec(0))
+	if err := b.Flush(); err != nil {
+		t.Fatalf("memory-only flush errored: %v", err)
+	}
+	if b.Flushes() != 0 {
+		t.Fatalf("memory-only flush counted: %d", b.Flushes())
+	}
+}
+
+func TestToSetSkipsUnconverged(t *testing.T) {
+	recs := []Record{rec(0), {Factors: []float64{1}, Input: []float64{1}}, rec(2)}
+	set := ToSet("case9", 3, recs)
+	if set.CaseName != "case9" || set.NB != 3 {
+		t.Fatalf("set header = %q/%d", set.CaseName, set.NB)
+	}
+	if len(set.Samples) != 2 {
+		t.Fatalf("samples = %d, want 2 (empty-solution record skipped)", len(set.Samples))
+	}
+	s := set.Samples[1]
+	if s.Iterations != 2 || s.Cost != 102 || s.X[0] != 2 {
+		t.Fatalf("sample fields lost in conversion: %+v", s)
+	}
+}

@@ -1,0 +1,320 @@
+package lifecycle
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/mtl"
+)
+
+// Version states in a manifest.
+const (
+	StateIncumbent = "incumbent" // currently serving
+	StateCandidate = "candidate" // in a canary window
+	StateRetired   = "retired"   // a former incumbent, kept for rollback
+	StateRejected  = "rejected"  // a candidate that failed its canary
+)
+
+// Version is one registered model snapshot.
+type Version struct {
+	// ID is the registry-assigned identity: "v<seq>-<hash prefix>".
+	ID string `json:"id"`
+	// Hash is the full sha256 of the snapshot file (= the model
+	// fingerprint), verified before every load.
+	Hash string `json:"hash"`
+	// File is the snapshot filename, relative to the system directory.
+	File string `json:"file"`
+	// CreatedUnix is the registration time from the registry Clock.
+	CreatedUnix int64 `json:"created_unix"`
+	// State is one of the State* constants.
+	State string `json:"state"`
+	// Note records provenance ("bootstrap", "retrain on 512 captured
+	// pairs", …).
+	Note string `json:"note,omitempty"`
+}
+
+// Manifest is a system's registry state: the full version history plus
+// which version is serving (incumbent) and which, if any, is in a
+// canary window (candidate).
+type Manifest struct {
+	System    string    `json:"system"`
+	Seq       int       `json:"seq"` // last assigned version sequence number
+	Incumbent string    `json:"incumbent,omitempty"`
+	Candidate string    `json:"candidate,omitempty"`
+	Versions  []Version `json:"versions"`
+}
+
+// Find returns the version with the given ID.
+func (m *Manifest) Find(id string) (*Version, bool) {
+	for i := range m.Versions {
+		if m.Versions[i].ID == id {
+			return &m.Versions[i], true
+		}
+	}
+	return nil, false
+}
+
+// Registry is the versioned on-disk model store. Layout per system:
+//
+//	<dir>/<system>/manifest.json       current state (atomic rename)
+//	<dir>/<system>/manifest.prev.json  previous state (corruption fallback)
+//	<dir>/<system>/v<seq>-<hash8>.model  content-hashed snapshots
+//
+// Every manifest update is written to a temporary file, fsync'd and
+// renamed over manifest.json, with the prior manifest first moved to
+// manifest.prev.json — so a torn write at any point leaves a loadable
+// manifest: Load falls back to the previous one when the current fails
+// to parse. Snapshots are immutable once written; their sha256 is
+// recorded in the manifest and re-verified before a load, so a corrupt
+// snapshot is detected rather than served. Safe for concurrent use.
+type Registry struct {
+	mu    sync.Mutex
+	dir   string
+	clock Clock
+}
+
+// NewRegistry opens (creating if needed) a registry rooted at dir.
+func NewRegistry(dir string, clock Clock) (*Registry, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("lifecycle: registry needs a directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("lifecycle: registry dir: %w", err)
+	}
+	return &Registry{dir: dir, clock: clockOrSystem(clock)}, nil
+}
+
+// Dir returns the registry root.
+func (r *Registry) Dir() string { return r.dir }
+
+func (r *Registry) systemDir(system string) string {
+	return filepath.Join(r.dir, system)
+}
+
+// Manifest loads a system's manifest. recovered reports that the
+// current manifest.json was corrupt or truncated and the previous one
+// was used instead (the registry's last good state). A system with no
+// manifest at all returns an empty manifest and no error.
+func (r *Registry) Manifest(system string) (m *Manifest, recovered bool, err error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.loadManifestLocked(system)
+}
+
+func (r *Registry) loadManifestLocked(system string) (*Manifest, bool, error) {
+	dir := r.systemDir(system)
+	cur, curErr := readManifest(filepath.Join(dir, "manifest.json"))
+	if curErr == nil {
+		return cur, false, nil
+	}
+	if os.IsNotExist(curErr) {
+		// Never written — but a crash between the two renames of
+		// writeManifestLocked can leave only the prev manifest; recover
+		// from it rather than reporting an empty registry.
+		if prev, prevErr := readManifest(filepath.Join(dir, "manifest.prev.json")); prevErr == nil {
+			return prev, true, nil
+		}
+		return &Manifest{System: system}, false, nil
+	}
+	prev, prevErr := readManifest(filepath.Join(dir, "manifest.prev.json"))
+	if prevErr != nil {
+		return nil, false, fmt.Errorf("lifecycle: manifest for %s corrupt (%v) and no recoverable previous manifest (%v)", system, curErr, prevErr)
+	}
+	return prev, true, nil
+}
+
+// readManifest parses and validates one manifest file. Beyond JSON
+// well-formedness it checks the structural invariants a truncated-but-
+// parseable file would break: named incumbent/candidate versions must
+// exist, and every version needs an ID, hash and file.
+func readManifest(path string) (*Manifest, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var m Manifest
+	if err := json.Unmarshal(buf, &m); err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	for i := range m.Versions {
+		v := &m.Versions[i]
+		if v.ID == "" || v.Hash == "" || v.File == "" {
+			return nil, fmt.Errorf("%s: version %d incomplete", path, i)
+		}
+	}
+	if m.Incumbent != "" {
+		if _, ok := m.Find(m.Incumbent); !ok {
+			return nil, fmt.Errorf("%s: incumbent %q not in version list", path, m.Incumbent)
+		}
+	}
+	if m.Candidate != "" {
+		if _, ok := m.Find(m.Candidate); !ok {
+			return nil, fmt.Errorf("%s: candidate %q not in version list", path, m.Candidate)
+		}
+	}
+	return &m, nil
+}
+
+// writeManifestLocked atomically replaces a system's manifest, keeping
+// the prior one as manifest.prev.json.
+func (r *Registry) writeManifestLocked(system string, m *Manifest) error {
+	dir := r.systemDir(system)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	cur := filepath.Join(dir, "manifest.json")
+	if _, err := os.Stat(cur); err == nil {
+		if err := os.Rename(cur, filepath.Join(dir, "manifest.prev.json")); err != nil {
+			return err
+		}
+		if err := syncDir(dir); err != nil {
+			return err
+		}
+	}
+	buf, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	return writeFileSync(cur, func(f *os.File) error {
+		_, werr := f.Write(append(buf, '\n'))
+		return werr
+	})
+}
+
+// register snapshots a model into a system's directory and appends it
+// to the manifest in the given state.
+func (r *Registry) register(system string, m *mtl.Model, state, note string) (Version, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	man, _, err := r.loadManifestLocked(system)
+	if err != nil {
+		return Version{}, err
+	}
+
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		return Version{}, fmt.Errorf("lifecycle: snapshotting model for %s: %w", system, err)
+	}
+	sum := sha256.Sum256(buf.Bytes())
+	hash := hex.EncodeToString(sum[:])
+
+	// An identical-weights registration reuses the existing snapshot
+	// file but still gets its own version entry: version identity is
+	// (sequence, hash), not hash alone, so the history records every
+	// deployment decision.
+	man.Seq++
+	v := Version{
+		ID:          fmt.Sprintf("v%04d-%s", man.Seq, hash[:8]),
+		Hash:        hash,
+		File:        fmt.Sprintf("v%04d-%s.model", man.Seq, hash[:8]),
+		CreatedUnix: r.clock.Now().Unix(),
+		State:       state,
+		Note:        note,
+	}
+	if err := os.MkdirAll(r.systemDir(system), 0o755); err != nil {
+		return Version{}, err
+	}
+	if err := writeFileSync(filepath.Join(r.systemDir(system), v.File), func(f *os.File) error {
+		_, werr := f.Write(buf.Bytes())
+		return werr
+	}); err != nil {
+		return Version{}, fmt.Errorf("lifecycle: writing snapshot %s: %w", v.File, err)
+	}
+	man.System = system
+	man.Versions = append(man.Versions, v)
+	switch state {
+	case StateIncumbent:
+		if old, ok := man.Find(man.Incumbent); ok {
+			old.State = StateRetired
+		}
+		man.Incumbent = v.ID
+	case StateCandidate:
+		if old, ok := man.Find(man.Candidate); ok && old.State == StateCandidate {
+			old.State = StateRejected
+		}
+		man.Candidate = v.ID
+	}
+	if err := r.writeManifestLocked(system, man); err != nil {
+		return Version{}, err
+	}
+	return v, nil
+}
+
+// SaveIncumbent registers a model as the system's serving version
+// (boot-time registration of the loaded or bootstrap-trained model, or
+// a direct administrative swap). Any previous incumbent is retired.
+func (r *Registry) SaveIncumbent(system string, m *mtl.Model, note string) (Version, error) {
+	return r.register(system, m, StateIncumbent, note)
+}
+
+// SaveCandidate registers a retrained model as the system's canary
+// candidate.
+func (r *Registry) SaveCandidate(system string, m *mtl.Model, note string) (Version, error) {
+	return r.register(system, m, StateCandidate, note)
+}
+
+// Promote makes the named candidate the incumbent; the previous
+// incumbent is retired (kept on disk for rollback).
+func (r *Registry) Promote(system, id string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	man, _, err := r.loadManifestLocked(system)
+	if err != nil {
+		return err
+	}
+	v, ok := man.Find(id)
+	if !ok {
+		return fmt.Errorf("lifecycle: promote %s: unknown version %q", system, id)
+	}
+	if old, ok := man.Find(man.Incumbent); ok && old.ID != id {
+		old.State = StateRetired
+	}
+	v.State = StateIncumbent
+	man.Incumbent = id
+	if man.Candidate == id {
+		man.Candidate = ""
+	}
+	return r.writeManifestLocked(system, man)
+}
+
+// Reject marks the named candidate as rejected after a failed canary;
+// the incumbent keeps serving.
+func (r *Registry) Reject(system, id string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	man, _, err := r.loadManifestLocked(system)
+	if err != nil {
+		return err
+	}
+	v, ok := man.Find(id)
+	if !ok {
+		return fmt.Errorf("lifecycle: reject %s: unknown version %q", system, id)
+	}
+	v.State = StateRejected
+	if man.Candidate == id {
+		man.Candidate = ""
+	}
+	return r.writeManifestLocked(system, man)
+}
+
+// LoadModel restores a registered snapshot into a model configured for
+// the system, verifying the content hash first — a corrupt or tampered
+// snapshot is an error, never a served model.
+func (r *Registry) LoadModel(sys *core.System, variant mtl.Variant, v Version) (*mtl.Model, error) {
+	buf, err := os.ReadFile(filepath.Join(r.systemDir(sys.Name), v.File))
+	if err != nil {
+		return nil, err
+	}
+	sum := sha256.Sum256(buf)
+	if got := hex.EncodeToString(sum[:]); got != v.Hash {
+		return nil, fmt.Errorf("lifecycle: snapshot %s hash mismatch: manifest %s, file %s", v.File, v.Hash[:8], got[:8])
+	}
+	return sys.LoadModel(variant, bytes.NewReader(buf))
+}

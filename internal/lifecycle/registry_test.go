@@ -1,0 +1,249 @@
+package lifecycle
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/mtl"
+)
+
+// fixture shares one loaded system and one trained model across the
+// package's tests (training dominates the suite's runtime).
+var fixture struct {
+	once sync.Once
+	sys  *core.System
+	m    *mtl.Model
+	err  error
+}
+
+func loadFixture(t *testing.T) (*core.System, *mtl.Model) {
+	t.Helper()
+	fixture.once.Do(func() {
+		sys, err := core.LoadSystem("case9")
+		if err != nil {
+			fixture.err = err
+			return
+		}
+		set, err := sys.GenerateData(40, 3)
+		if err != nil {
+			fixture.err = err
+			return
+		}
+		train, _ := set.Split(0.8)
+		m, err := sys.TrainModel(mtl.VariantSmartPGSim, train, 60, 7, nil)
+		if err != nil {
+			fixture.err = err
+			return
+		}
+		fixture.sys, fixture.m = sys, m
+	})
+	if fixture.err != nil {
+		t.Fatal(fixture.err)
+	}
+	return fixture.sys, fixture.m
+}
+
+func TestRegistryLifecycleTransitions(t *testing.T) {
+	sys, m := loadFixture(t)
+	reg, err := NewRegistry(t.TempDir(), NewFakeClock())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	inc, err := reg.SaveIncumbent(sys.Name, m, "boot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inc.Hash != m.Fingerprint() {
+		t.Fatalf("registered hash %s != fingerprint %s", inc.Hash[:8], m.Fingerprint()[:8])
+	}
+
+	cand, err := reg.SaveCandidate(sys.Name, m.Clone(), "retrain")
+	if err != nil {
+		t.Fatal(err)
+	}
+	man, recovered, err := reg.Manifest(sys.Name)
+	if err != nil || recovered {
+		t.Fatalf("manifest: err=%v recovered=%v", err, recovered)
+	}
+	if man.Incumbent != inc.ID || man.Candidate != cand.ID {
+		t.Fatalf("manifest roles = %q/%q, want %q/%q", man.Incumbent, man.Candidate, inc.ID, cand.ID)
+	}
+
+	if err := reg.Promote(sys.Name, cand.ID); err != nil {
+		t.Fatal(err)
+	}
+	man, _, err = reg.Manifest(sys.Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if man.Incumbent != cand.ID || man.Candidate != "" {
+		t.Fatalf("after promote: incumbent=%q candidate=%q", man.Incumbent, man.Candidate)
+	}
+	if v, _ := man.Find(inc.ID); v.State != StateRetired {
+		t.Fatalf("old incumbent state = %q, want retired", v.State)
+	}
+
+	// A second candidate, rejected.
+	cand2, err := reg.SaveCandidate(sys.Name, m.Clone(), "retrain 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Reject(sys.Name, cand2.ID); err != nil {
+		t.Fatal(err)
+	}
+	man, _, err = reg.Manifest(sys.Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := man.Find(cand2.ID); v.State != StateRejected || man.Candidate != "" {
+		t.Fatalf("after reject: state=%q candidate=%q", v.State, man.Candidate)
+	}
+}
+
+// TestRegistryLoadModelVerifiesHash pins the content-hash gate: a
+// registered snapshot loads back to identical weights, and a corrupted
+// snapshot file is an error, never a served model.
+func TestRegistryLoadModelVerifiesHash(t *testing.T) {
+	sys, m := loadFixture(t)
+	dir := t.TempDir()
+	reg, err := NewRegistry(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := reg.SaveIncumbent(sys.Name, m, "boot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := reg.LoadModel(sys, mtl.VariantSmartPGSim, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Fingerprint() != m.Fingerprint() {
+		t.Fatal("loaded model weights differ from the registered snapshot")
+	}
+
+	// Corrupt one byte of the snapshot.
+	path := filepath.Join(dir, sys.Name, v.File)
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf[len(buf)/2] ^= 0xff
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.LoadModel(sys, mtl.VariantSmartPGSim, v); err == nil {
+		t.Fatal("corrupted snapshot loaded without a hash error")
+	}
+}
+
+// TestRegistryManifestRecovery pins the torn-write story: a corrupted
+// or truncated manifest.json falls back to manifest.prev.json (the last
+// good state), and a crash that left only the prev manifest recovers
+// too.
+func TestRegistryManifestRecovery(t *testing.T) {
+	sys, m := loadFixture(t)
+	dir := t.TempDir()
+	reg, err := NewRegistry(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.SaveIncumbent(sys.Name, m, "boot"); err != nil {
+		t.Fatal(err)
+	}
+	cand, err := reg.SaveCandidate(sys.Name, m.Clone(), "retrain")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur := filepath.Join(dir, sys.Name, "manifest.json")
+	good, err := os.ReadFile(cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	corruptions := map[string][]byte{
+		"garbage":   []byte("{not json"),
+		"truncated": good[:len(good)/3],
+		// Parseable but structurally broken: candidate points nowhere.
+		"dangling": []byte(`{"system":"case9","seq":9,"candidate":"v9999-dead","versions":[]}`),
+	}
+	for name, junk := range corruptions {
+		t.Run(name, func(t *testing.T) {
+			if err := os.WriteFile(cur, junk, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			man, recovered, err := reg.Manifest(sys.Name)
+			if err != nil {
+				t.Fatalf("no recovery: %v", err)
+			}
+			if !recovered {
+				t.Fatal("recovery not reported")
+			}
+			// The previous state is the one before the candidate was added.
+			if man.Incumbent == "" {
+				t.Fatal("recovered manifest lost the incumbent")
+			}
+			if _, ok := man.Find(cand.ID); ok {
+				t.Fatal("recovered manifest includes the post-crash candidate")
+			}
+			// Restore for the next subtest.
+			if err := os.WriteFile(cur, good, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+
+	t.Run("crash between renames", func(t *testing.T) {
+		if err := os.Remove(cur); err != nil {
+			t.Fatal(err)
+		}
+		man, recovered, err := reg.Manifest(sys.Name)
+		if err != nil || !recovered {
+			t.Fatalf("err=%v recovered=%v", err, recovered)
+		}
+		if man.Incumbent == "" {
+			t.Fatal("recovered manifest lost the incumbent")
+		}
+	})
+}
+
+// FuzzManifestRoundTrip feeds arbitrary bytes through the manifest
+// parser (it must reject or accept, never panic) and checks that every
+// accepted manifest re-marshals and re-parses to the same state.
+func FuzzManifestRoundTrip(f *testing.F) {
+	f.Add([]byte(`{"system":"case9","seq":1,"incumbent":"v0001-aaaa","versions":[{"id":"v0001-aaaa","hash":"aa","file":"v0001-aaaa.model","created_unix":1700000000,"state":"incumbent"}]}`))
+	f.Add([]byte(`{"system":"g","seq":0,"versions":[]}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(``))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dir := t.TempDir()
+		path := filepath.Join(dir, "manifest.json")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Skip()
+		}
+		m, err := readManifest(path)
+		if err != nil {
+			return // rejected is fine; panicking is the bug under test
+		}
+		buf, err := json.Marshal(m)
+		if err != nil {
+			t.Fatalf("accepted manifest does not re-marshal: %v", err)
+		}
+		if err := os.WriteFile(path, buf, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		m2, err := readManifest(path)
+		if err != nil {
+			t.Fatalf("re-marshaled manifest rejected: %v", err)
+		}
+		if !reflect.DeepEqual(m, m2) {
+			t.Fatalf("round trip changed the manifest:\n%+v\n%+v", m, m2)
+		}
+	})
+}

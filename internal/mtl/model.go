@@ -1,7 +1,9 @@
 package mtl
 
 import (
+	"crypto/sha256"
 	"encoding/gob"
+	"encoding/hex"
 	"fmt"
 	"io"
 	"math"
@@ -528,6 +530,22 @@ func (m *Model) Load(r io.Reader) error {
 	}
 	m.Norm = s.Norm
 	return nil
+}
+
+// Fingerprint returns the sha256 content hash of the model's serialized
+// state (weights + normalization, the exact bytes Save writes). Two
+// models with identical weights fingerprint identically regardless of
+// how they were produced, so the lifecycle registry uses it as the
+// version identity and the canary harness uses it to recognize an
+// identical-weights candidate.
+func (m *Model) Fingerprint() string {
+	h := sha256.New()
+	if err := m.Save(h); err != nil {
+		// gob encoding into a hash cannot fail for a well-formed model;
+		// a failure here means the model is structurally broken.
+		panic(fmt.Sprintf("mtl: fingerprinting model: %v", err))
+	}
+	return hex.EncodeToString(h.Sum(nil))
 }
 
 // hcat concatenates two batches column-wise.

@@ -64,6 +64,14 @@ type SolveResponse struct {
 	Pg         []float64 `json:"pg"`
 	Qg         []float64 `json:"qg"`
 
+	// ModelVersion identifies the replica set that served a warm request
+	// (the lifecycle registry version when one is attached); empty on the
+	// cold path. Every response carries exactly one version — a request
+	// is never split across a hot swap.
+	ModelVersion string `json:"model_version,omitempty"`
+	// Canary marks a warm request routed to the canary candidate.
+	Canary bool `json:"canary,omitempty"`
+
 	Timing Timing `json:"timing"`
 }
 

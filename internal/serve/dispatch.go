@@ -100,15 +100,29 @@ func (s *Server) runBatch(jobs []*job) {
 func (s *Server) execute(j *job) *SolveResponse {
 	t0 := time.Now()
 	resp := &SolveResponse{System: j.st.sys.Name}
-	if j.st.pool != nil && !j.cold {
-		p := <-j.st.pool
+	var state solveState
+	var input []float64
+	rs := j.st.replicas()
+	if rs != nil && !j.cold {
+		// The replica set is loaded once per request: the request borrows
+		// a replica from that set and returns it to the same set, so a
+		// concurrent hot swap can neither drop this request nor mix model
+		// versions within it. During a canary window the deterministic
+		// splitter routes the request to the candidate's set instead.
+		set := rs
+		cr := j.st.canary.Load()
+		if cr != nil && cr.ctl.Route() {
+			set = cr.set
+			resp.Canary = true
+		}
+		p := <-set.pool
 		// One derivation serves both the model input and the solver: the
 		// Perturb'd instance's case is the scaled clone InstanceInput
 		// would otherwise rebuild.
 		inst := j.st.sys.OPF.Perturb(j.factors)
-		input := dataset.InputVector(inst.Case)
+		input = dataset.InputVector(inst.Case)
 		w := j.st.sys.SolveWarmInstance(p, inst, input)
-		j.st.pool <- p
+		set.pool <- p
 		r := w.Result
 		resp.Path = "warm"
 		resp.WarmConverged = w.Converged
@@ -120,22 +134,34 @@ func (s *Server) execute(j *job) *SolveResponse {
 		resp.Iterations = w.Iterations
 		resp.Cost = w.Cost
 		resp.Va, resp.Vm, resp.Pg, resp.Qg = r.Va, r.Vm, r.Pg, r.Qg
+		resp.ModelVersion = set.version
+		state = solveState{x: r.X, lam: r.Lam, mu: r.Mu, z: r.Z}
 		resp.Timing = Timing{
 			PrepUS:    usec(w.PrepTime),
 			InferUS:   usec(w.InferTime),
 			SolveUS:   usec(w.WarmTime),
 			RestartUS: usec(w.RestartTime),
 		}
+		if cr != nil {
+			cr.ctl.Observe(resp.Canary, w.Converged, w.Iterations)
+			s.met.recordCanarySolve(j.st.sys.Name, resp.Canary)
+			s.maybeFinishCanary(j.st, cr)
+		}
 	} else {
 		inst := j.st.sys.OPF.Perturb(j.factors)
+		if j.st.lc != nil {
+			input = dataset.InputVector(inst.Case)
+		}
 		r, _ := inst.Solve(nil, opf.Options{}) // a solver error reports as Converged=false
 		resp.Path = "cold"
 		resp.Converged = r.Converged
 		resp.Iterations = r.Iterations
 		resp.Cost = r.Cost
 		resp.Va, resp.Vm, resp.Pg, resp.Qg = r.Va, r.Vm, r.Pg, r.Qg
+		state = solveState{x: r.X, lam: r.Lam, mu: r.Mu, z: r.Z}
 		resp.Timing = Timing{PrepUS: usec(r.PrepTime), SolveUS: usec(r.SolveTime)}
 	}
+	s.lifecycleObserve(j.st, j.factors, input, resp, state)
 	total := time.Since(t0)
 	resp.Timing.TotalUS = usec(total)
 	s.met.recordSolve(resp, total)

@@ -120,6 +120,16 @@ type metrics struct {
 	trajectoryDisconnects map[string]int64 // system
 	trajectoryStepLatency *histogram
 
+	// Lifecycle event counters, per system: hot swaps applied to the
+	// serving replica set, drift events observed, canary-scored solves
+	// per arm and canary window outcomes. Gauge-like lifecycle state
+	// (captured records, retrains, …) is snapshotted from the attached
+	// managers at render time instead.
+	lcSwaps        map[string]int64 // system
+	lcDrift        map[string]int64 // system
+	lcCanarySolves map[string]int64 // "system|arm"
+	lcDecisions    map[string]int64 // "system|decision"
+
 	latency map[string]*histogram // per path
 	batches *histogram
 	started time.Time
@@ -146,6 +156,11 @@ func newMetrics() *metrics {
 		trajectoryWarm:        make(map[string]int64),
 		trajectoryDisconnects: make(map[string]int64),
 		trajectoryStepLatency: newHistogram(latencyBuckets),
+
+		lcSwaps:        make(map[string]int64),
+		lcDrift:        make(map[string]int64),
+		lcCanarySolves: make(map[string]int64),
+		lcDecisions:    make(map[string]int64),
 
 		latency: make(map[string]*histogram),
 		batches: newHistogram(batchBuckets),
@@ -197,6 +212,39 @@ func (m *metrics) recordTrajectoryDisconnect(system string) {
 	m.trajectoryDisconnects[system]++
 }
 
+// recordSwap counts one hot swap of a system's serving replica set
+// (SwapModel, SwapPredictors or a canary promotion).
+func (m *metrics) recordSwap(system string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.lcSwaps[system]++
+}
+
+// recordDrift counts one drift-detector firing.
+func (m *metrics) recordDrift(system string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.lcDrift[system]++
+}
+
+// recordCanarySolve counts one canary-scored warm solve on its arm.
+func (m *metrics) recordCanarySolve(system string, candidate bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	arm := "incumbent"
+	if candidate {
+		arm = "candidate"
+	}
+	m.lcCanarySolves[system+"|"+arm]++
+}
+
+// recordCanaryDecision counts one completed canary window by outcome.
+func (m *metrics) recordCanaryDecision(system, decision string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.lcDecisions[system+"|"+decision]++
+}
+
 func (m *metrics) recordRequest(endpoint string, code int) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -240,7 +288,7 @@ type kktStat struct {
 
 // render writes every metric in Prometheus text exposition format, with
 // deterministic (sorted) label ordering.
-func (m *metrics) render(w io.Writer, queueDepth, solverThreads int, kkt []kktStat) {
+func (m *metrics) render(w io.Writer, queueDepth, solverThreads int, kkt []kktStat, lcs []lcStat) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 
@@ -375,6 +423,66 @@ func (m *metrics) render(w io.Writer, queueDepth, solverThreads int, kkt []kktSt
 	fmt.Fprintln(w, "# TYPE pgsimd_kkt_refactor_fallbacks_total counter")
 	for _, k := range kkt {
 		fmt.Fprintf(w, "pgsimd_kkt_refactor_fallbacks_total{system=%q} %d\n", k.system, k.stats.Fallbacks)
+	}
+
+	fmt.Fprintln(w, "# HELP pgsimd_lifecycle_swaps_total Hot swaps of a system's serving replica set (direct swaps and canary promotions).")
+	fmt.Fprintln(w, "# TYPE pgsimd_lifecycle_swaps_total counter")
+	for _, k := range sortedKeys(m.lcSwaps) {
+		fmt.Fprintf(w, "pgsimd_lifecycle_swaps_total{system=%q} %d\n", k, m.lcSwaps[k])
+	}
+	fmt.Fprintln(w, "# HELP pgsimd_lifecycle_drift_events_total Drift-detector firings on live warm-start telemetry.")
+	fmt.Fprintln(w, "# TYPE pgsimd_lifecycle_drift_events_total counter")
+	for _, k := range sortedKeys(m.lcDrift) {
+		fmt.Fprintf(w, "pgsimd_lifecycle_drift_events_total{system=%q} %d\n", k, m.lcDrift[k])
+	}
+	fmt.Fprintln(w, "# HELP pgsimd_lifecycle_canary_solves_total Canary-scored warm solves by arm.")
+	fmt.Fprintln(w, "# TYPE pgsimd_lifecycle_canary_solves_total counter")
+	for _, k := range sortedKeys(m.lcCanarySolves) {
+		sys, arm, _ := strings.Cut(k, "|")
+		fmt.Fprintf(w, "pgsimd_lifecycle_canary_solves_total{system=%q,arm=%q} %d\n", sys, arm, m.lcCanarySolves[k])
+	}
+	fmt.Fprintln(w, "# HELP pgsimd_lifecycle_canary_decisions_total Completed canary windows by outcome.")
+	fmt.Fprintln(w, "# TYPE pgsimd_lifecycle_canary_decisions_total counter")
+	for _, k := range sortedKeys(m.lcDecisions) {
+		sys, decision, _ := strings.Cut(k, "|")
+		fmt.Fprintf(w, "pgsimd_lifecycle_canary_decisions_total{system=%q,decision=%q} %d\n", sys, decision, m.lcDecisions[k])
+	}
+	if len(lcs) > 0 {
+		fmt.Fprintln(w, "# HELP pgsimd_lifecycle_state Lifecycle state per system (0=capturing, 1=retraining, 2=canary).")
+		fmt.Fprintln(w, "# TYPE pgsimd_lifecycle_state gauge")
+		for _, l := range lcs {
+			fmt.Fprintf(w, "pgsimd_lifecycle_state{system=%q} %d\n", l.system, int(l.stats.State))
+		}
+		fmt.Fprintln(w, "# HELP pgsimd_lifecycle_captured_total Served solves recorded into the capture buffer.")
+		fmt.Fprintln(w, "# TYPE pgsimd_lifecycle_captured_total counter")
+		for _, l := range lcs {
+			fmt.Fprintf(w, "pgsimd_lifecycle_captured_total{system=%q} %d\n", l.system, l.stats.Captured)
+		}
+		fmt.Fprintln(w, "# HELP pgsimd_lifecycle_capture_retained Records currently retained in the bounded capture buffer.")
+		fmt.Fprintln(w, "# TYPE pgsimd_lifecycle_capture_retained gauge")
+		for _, l := range lcs {
+			fmt.Fprintf(w, "pgsimd_lifecycle_capture_retained{system=%q} %d\n", l.system, l.stats.Retained)
+		}
+		fmt.Fprintln(w, "# HELP pgsimd_lifecycle_capture_flushes_total Completed fsync'd capture flushes to disk.")
+		fmt.Fprintln(w, "# TYPE pgsimd_lifecycle_capture_flushes_total counter")
+		for _, l := range lcs {
+			fmt.Fprintf(w, "pgsimd_lifecycle_capture_flushes_total{system=%q} %d\n", l.system, l.stats.Flushes)
+		}
+		fmt.Fprintln(w, "# HELP pgsimd_lifecycle_retrains_total Completed drift-triggered retrains.")
+		fmt.Fprintln(w, "# TYPE pgsimd_lifecycle_retrains_total counter")
+		for _, l := range lcs {
+			fmt.Fprintf(w, "pgsimd_lifecycle_retrains_total{system=%q} %d\n", l.system, l.stats.Retrains)
+		}
+		fmt.Fprintln(w, "# HELP pgsimd_lifecycle_promotions_total Canary candidates promoted to incumbent.")
+		fmt.Fprintln(w, "# TYPE pgsimd_lifecycle_promotions_total counter")
+		for _, l := range lcs {
+			fmt.Fprintf(w, "pgsimd_lifecycle_promotions_total{system=%q} %d\n", l.system, l.stats.Promotions)
+		}
+		fmt.Fprintln(w, "# HELP pgsimd_lifecycle_rollbacks_total Canary candidates rejected after a measured regression.")
+		fmt.Fprintln(w, "# TYPE pgsimd_lifecycle_rollbacks_total counter")
+		for _, l := range lcs {
+			fmt.Fprintf(w, "pgsimd_lifecycle_rollbacks_total{system=%q} %d\n", l.system, l.stats.Rollbacks)
+		}
 	}
 
 	fmt.Fprintln(w, "# HELP pgsimd_queue_depth Requests waiting for the dispatcher.")

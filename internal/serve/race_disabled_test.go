@@ -1,0 +1,7 @@
+//go:build !race
+
+package serve
+
+// raceEnabled reports that the race detector is active; allocation
+// pins skip under it (instrumentation allocates).
+const raceEnabled = false

@@ -40,12 +40,16 @@ func (s *Server) handleScreen(w http.ResponseWriter, r *http.Request) {
 	}
 	defer func() { <-s.screenSem }()
 
+	// The replica set is loaded once for the whole sweep; borrowed
+	// replicas go back to the same set even if the system's model is
+	// hot-swapped mid-sweep, so the sweep is served wholly by one
+	// version and the swap drops nothing.
 	var preds []scopf.Predictor
-	if st.pool != nil && !req.Cold {
-		preds = s.borrowPredictors(st, len(scenarios))
+	if rs := st.replicas(); rs != nil && !req.Cold {
+		preds = s.borrowPredictors(rs, len(scenarios))
 		defer func() {
 			for _, p := range preds {
-				st.pool <- p
+				rs.pool <- p
 			}
 		}()
 	}
@@ -109,28 +113,28 @@ func (s *Server) handleScreen(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, resp)
 }
 
-// borrowPredictors takes model replicas from the system's pool for the
+// borrowPredictors takes model replicas from a replica set for the
 // duration of a sweep: one blocking receive (there is always at least
 // one replica), then whatever else is idle, up to the engine's worker
 // count but always leaving one replica behind so concurrent /v1/solve
 // warm starts keep flowing instead of stalling the dispatcher for the
 // whole sweep. A single-replica pool is the unavoidable exception:
 // solves for that system then wait until the sweep returns it.
-func (s *Server) borrowPredictors(st *systemState, scenarios int) []scopf.Predictor {
+func (s *Server) borrowPredictors(rs *replicaSet, scenarios int) []scopf.Predictor {
 	want := batch.Workers(s.cfg.Workers)
 	if want > scenarios {
 		want = scenarios
 	}
-	if max := cap(st.pool) - 1; want > max {
+	if max := cap(rs.pool) - 1; want > max {
 		want = max
 	}
 	if want < 1 {
 		want = 1
 	}
-	preds := []scopf.Predictor{<-st.pool}
+	preds := []scopf.Predictor{<-rs.pool}
 	for len(preds) < want {
 		select {
-		case p := <-st.pool:
+		case p := <-rs.pool:
 			preds = append(preds, p)
 		default:
 			return preds

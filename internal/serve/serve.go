@@ -61,10 +61,12 @@ import (
 	"net/http"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/batch"
 	"repro/internal/core"
+	"repro/internal/lifecycle"
 	"repro/internal/mtl"
 	"repro/internal/sparse"
 )
@@ -114,12 +116,38 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// systemState is one registered base grid: the shared prepared problem
-// structure plus the warm-start predictor pool (nil for cold-only).
-type systemState struct {
-	sys  *core.System
-	pool chan core.Predictor
+// replicaSet is one model version's serving pool: the per-worker
+// predictor replicas of a single set of weights, tagged with the
+// version they carry. A request borrows a replica from exactly one set
+// and returns it to the same set, so every response is served wholly by
+// one version — a hot swap can never mix versions within a request.
+type replicaSet struct {
+	version string
+	model   *mtl.Model // nil for explicit-predictor sets (tests)
+	pool    chan core.Predictor
 }
+
+// systemState is one registered base grid: the shared prepared problem
+// structure plus the atomically swappable warm-start replica set (nil
+// for cold-only) and, when attached, the model lifecycle.
+//
+// active is an atomic pointer so SwapModel replaces the whole set in
+// one store with zero dropped requests: in-flight solves keep the set
+// they loaded (and return replicas to it), new solves load the new set.
+// canary, when non-nil, carries the candidate's replica set plus the
+// deterministic traffic splitter for the open canary window.
+type systemState struct {
+	sys    *core.System
+	active atomic.Pointer[replicaSet]
+	canary atomic.Pointer[canaryRun]
+
+	lc         *lifecycle.Manager // nil when no lifecycle is attached
+	lcAuto     bool               // drive retrain/canary automatically
+	retraining atomic.Bool        // an auto retrain is in flight
+}
+
+// replicas returns the serving replica set, nil for cold-only systems.
+func (st *systemState) replicas() *replicaSet { return st.active.Load() }
 
 // Server is the OPF-serving engine. Register systems with AddSystem
 // before exposing Handler; Close stops the dispatcher after the HTTP
@@ -131,6 +159,7 @@ type Server struct {
 	names     []string // registration order, for /v1/systems
 	queue     chan *job
 	done      chan struct{}
+	closeOnce sync.Once
 	wg        sync.WaitGroup
 	met       *metrics
 	started   time.Time
@@ -168,13 +197,44 @@ func New(cfg Config) *Server {
 
 // AddSystem registers a base grid, with m (may be nil for cold-only
 // serving) as the warm-start model. The model is cloned into a replica
-// pool sized to the in-flight solve limit. Not safe to call once the
+// set sized to the in-flight solve limit. Not safe to call once the
 // handler is serving traffic.
 func (s *Server) AddSystem(sys *core.System, m *mtl.Model) {
 	if m == nil {
 		s.addSystem(sys, nil)
 		return
 	}
+	s.addSystem(sys, s.newModelSet(m, "m-"+m.Fingerprint()[:12]))
+}
+
+// AddSystemVersion is AddSystem with an explicit version tag for the
+// replica set — used when the model is registered in a lifecycle
+// registry and responses should carry its registry version ID.
+func (s *Server) AddSystemVersion(sys *core.System, m *mtl.Model, version string) {
+	s.addSystem(sys, s.newModelSet(m, version))
+}
+
+// AddSystemPredictors registers a base grid with an explicit replica
+// set — one Predictor per concurrently served warm start. Tests use it
+// to force warm-start outcomes; AddSystem is the production path.
+func (s *Server) AddSystemPredictors(sys *core.System, replicas []core.Predictor) {
+	s.addSystem(sys, newPredictorSet(replicas, "p-fixed"))
+}
+
+func (s *Server) addSystem(sys *core.System, rs *replicaSet) {
+	st := &systemState{sys: sys}
+	if rs != nil {
+		st.active.Store(rs)
+	}
+	if _, dup := s.systems[sys.Name]; !dup {
+		s.names = append(s.names, sys.Name)
+	}
+	s.systems[sys.Name] = st
+}
+
+// newModelSet clones a model into a version-tagged replica set sized to
+// the in-flight solve limit, with float32 serving caches prebuilt.
+func (s *Server) newModelSet(m *mtl.Model, version string) *replicaSet {
 	n := s.replicaCount()
 	reps := make([]core.Predictor, n)
 	m.Warmup()  // float32 serving caches built at registration, not in the first request
@@ -184,28 +244,20 @@ func (s *Server) AddSystem(sys *core.System, m *mtl.Model) {
 		c.Warmup()
 		reps[i] = c
 	}
-	s.addSystem(sys, reps)
+	rs := newPredictorSet(reps, version)
+	rs.model = m
+	return rs
 }
 
-// AddSystemPredictors registers a base grid with an explicit replica
-// set — one Predictor per concurrently served warm start. Tests use it
-// to force warm-start outcomes; AddSystem is the production path.
-func (s *Server) AddSystemPredictors(sys *core.System, replicas []core.Predictor) {
-	s.addSystem(sys, replicas)
-}
-
-func (s *Server) addSystem(sys *core.System, replicas []core.Predictor) {
-	st := &systemState{sys: sys}
-	if len(replicas) > 0 {
-		st.pool = make(chan core.Predictor, len(replicas))
-		for _, p := range replicas {
-			st.pool <- p
-		}
+func newPredictorSet(replicas []core.Predictor, version string) *replicaSet {
+	if len(replicas) == 0 {
+		return nil
 	}
-	if _, dup := s.systems[sys.Name]; !dup {
-		s.names = append(s.names, sys.Name)
+	rs := &replicaSet{version: version, pool: make(chan core.Predictor, len(replicas))}
+	for _, p := range replicas {
+		rs.pool <- p
 	}
-	s.systems[sys.Name] = st
+	return rs
 }
 
 // replicaCount is the most warm starts that can be in flight at once:
@@ -224,12 +276,24 @@ func (s *Server) replicaCount() int {
 // Handler returns the HTTP handler serving the API.
 func (s *Server) Handler() http.Handler { return s.mux }
 
-// Close stops the dispatcher after completing every queued request.
-// Call it after the HTTP server has drained (http.Server.Shutdown), so
-// no handler is left waiting on the queue.
+// Close stops the dispatcher after completing every queued request,
+// then flushes every attached lifecycle capture buffer to disk. The
+// ordering is the point: the flush runs after the dispatcher drain, so
+// the capture file includes every solve that was still queued at
+// shutdown — and after any in-flight auto retrain, which runs on the
+// same WaitGroup. Call Close after the HTTP server has drained
+// (http.Server.Shutdown), so no handler is left waiting on the queue.
+// Safe to call more than once (signal path and deferred cleanup).
 func (s *Server) Close() {
-	close(s.done)
-	s.wg.Wait()
+	s.closeOnce.Do(func() {
+		close(s.done)
+		s.wg.Wait()
+		for _, name := range s.names {
+			if lc := s.systems[name].lc; lc != nil {
+				_ = lc.FlushCapture() // a capture flush failure must not block shutdown
+			}
+		}
+	})
 }
 
 func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
@@ -272,7 +336,7 @@ func (s *Server) handleSystems(w http.ResponseWriter, r *http.Request) {
 		c, lay := st.sys.Case, st.sys.OPF.Lay
 		out.Systems = append(out.Systems, SystemInfo{
 			Name: name, Buses: c.NB(), Generators: c.NG(), Branches: c.NL(),
-			NLam: lay.NEq, NMu: lay.NIq, Model: st.pool != nil,
+			NLam: lay.NEq, NMu: lay.NIq, Model: st.replicas() != nil,
 		})
 	}
 	s.writeJSON(w, http.StatusOK, out)
@@ -288,7 +352,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	s.met.render(w, len(s.queue), sparse.SolverThreads(s.cfg.SolverThreads), s.kktStats())
+	s.met.render(w, len(s.queue), sparse.SolverThreads(s.cfg.SolverThreads), s.kktStats(), s.lifecycleStats())
 	s.met.recordRequest("/metrics", http.StatusOK)
 }
 

@@ -100,7 +100,7 @@ func (s *Server) validateTrajectory(req *TrajectoryRequest) (*systemState, horiz
 	if err != nil {
 		return nil, 0, nil, 0, fmt.Errorf("mode %q unknown (want chain, predict or cold)", req.Mode)
 	}
-	if mode == horizon.ModePredict && st.pool == nil {
+	if mode == horizon.ModePredict && st.replicas() == nil {
 		return nil, 0, nil, 0, fmt.Errorf("mode %q needs a model, system %s serves cold-only", "predict", req.System)
 	}
 	amp := 0.05
@@ -165,14 +165,18 @@ func (s *Server) handleTrajectory(w http.ResponseWriter, r *http.Request) {
 	// on this goroutine, so exactly one replica serves the stream.
 	var pred horizon.Predictor
 	if mode == horizon.ModePredict {
+		// The replica set is loaded once and the pinned replica returns
+		// to it, so a hot swap mid-stream neither drops the stream nor
+		// changes the model it predicts with.
+		rs := st.replicas()
 		var rep core.Predictor
 		select {
-		case rep = <-st.pool:
+		case rep = <-rs.pool:
 		default:
 			s.writeErrorAt(w, "/v1/trajectory", http.StatusServiceUnavailable, "no idle model replica, retry later")
 			return
 		}
-		defer func() { st.pool <- rep }()
+		defer func() { rs.pool <- rep }()
 		pred = rep
 	}
 

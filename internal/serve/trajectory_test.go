@@ -266,8 +266,8 @@ func TestTrajectoryDisconnectFreesReplica(t *testing.T) {
 		t.Fatalf("status = %d", resp.StatusCode)
 	}
 	// The replica is pinned while the stream is live.
-	if len(st.pool) != 0 {
-		t.Fatalf("replica pool holds %d replicas mid-stream, want 0", len(st.pool))
+	if len(st.replicas().pool) != 0 {
+		t.Fatalf("replica pool holds %d replicas mid-stream, want 0", len(st.replicas().pool))
 	}
 	// Read one streamed step, then drop the connection.
 	sc := bufio.NewScanner(resp.Body)
@@ -286,9 +286,9 @@ func TestTrajectoryDisconnectFreesReplica(t *testing.T) {
 	// The handler notices between steps and returns the replica and the
 	// stream slot (deferred). Poll the pool accounting back to full.
 	deadline := time.Now().Add(10 * time.Second)
-	for len(st.pool) != 1 || len(s.trajSem) != 0 {
+	for len(st.replicas().pool) != 1 || len(s.trajSem) != 0 {
 		if time.Now().After(deadline) {
-			t.Fatalf("after disconnect: pool=%d sem=%d, want 1/0", len(st.pool), len(s.trajSem))
+			t.Fatalf("after disconnect: pool=%d sem=%d, want 1/0", len(st.replicas().pool), len(s.trajSem))
 		}
 		time.Sleep(5 * time.Millisecond)
 	}
